@@ -1,0 +1,86 @@
+// Ablation of Varuna's design choices (beyond the paper's tables): starting
+// from the full system, turn off one mechanism at a time and measure GPT-2
+// 8.3B (18x3) and 2.5B (9x8) on commodity 1-GPU VMs:
+//   - opportunistic scheduling (§3.2's runtime deviation under jitter),
+//   - communication/compute overlap (§6's dedicated send/receive threads),
+//   - the Varuna static schedule itself (replaced by GPipe's).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+struct Variant {
+  std::string name;
+  ScheduleKind kind = ScheduleKind::kVaruna;
+  bool opportunistic = true;
+  bool overlap = true;
+};
+
+void Run() {
+  std::printf("=== Ablation: which Varuna mechanisms buy what (commodity network) ===\n\n");
+  const std::vector<Variant> variants = {
+      {"full Varuna", ScheduleKind::kVaruna, true, true},
+      {"- opportunistic scheduling", ScheduleKind::kVaruna, false, true},
+      {"- communication overlap", ScheduleKind::kVaruna, true, false},
+      {"- both (static schedule only)", ScheduleKind::kVaruna, false, false},
+      {"GPipe schedule (overlapped comms)", ScheduleKind::kGpipe, false, true},
+  };
+  const std::vector<std::tuple<TransformerSpec, int, int>> workloads = {
+      {Gpt2_8_3B(), 18, 3},
+      {Gpt2_2_5B(), 9, 8},
+  };
+
+  for (const auto& [spec, depth, replicas] : workloads) {
+    std::printf("%s, %dx%d, mini-batch 8192:\n", spec.name.c_str(), depth, replicas);
+    Table table({"variant", "ex/s/GPU", "vs full"});
+    double full_rate = 0.0;
+
+    const OpGraph graph = BuildTransformerOpGraph(spec);
+    const ModelSections sections = IdentifyCutPoints(graph, spec.num_layers).value();
+    const Partition partition = PartitionModel(sections, depth).value();
+    const TraceReport trace = TraceCrossPartitionState(graph, sections, TraceOptions());
+    Cluster cluster(CommodityFabric());
+    cluster.AddVms(Nc6V3(), depth * replicas);
+    const Placement placement = PlaceJob(cluster, depth, replicas).value();
+    const int m = 4;
+    const int num_microbatches = 8192 / (m * replicas);
+    const auto timings = ComputeStageTimings(sections, partition, Nc6V3().gpu, m);
+
+    for (const Variant& variant : variants) {
+      Schedule schedule = GenerateSchedule(variant.kind, depth, num_microbatches);
+      schedule.opportunistic = variant.opportunistic;
+      ExecutorOptions options;
+      options.overlap_communication = variant.overlap;
+      options.shared_state_sync_bytes = trace.TotalSyncBytes();
+      Rng rng(1);
+      PipelineExecutor executor(&cluster, &rng);
+      double total = 0.0;
+      const int runs = 3;
+      for (int run = 0; run < runs; ++run) {
+        total += executor.Run(schedule, placement, timings, m, options).total_time_s;
+      }
+      const double rate =
+          static_cast<double>(m) * num_microbatches * replicas / (total / runs) /
+          (depth * replicas);
+      if (variant.name == "full Varuna") {
+        full_rate = rate;
+      }
+      table.AddRow({variant.name, Table::Num(rate, 3),
+                    Table::Num(100.0 * (rate / full_rate - 1.0), 1) + "%"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf("Reading: opportunism and the schedule shape each buy a few percent under\n"
+              "tail-latency jitter; communication overlap is the largest single win; the\n"
+              "mechanisms compound (Observation 3).\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main() {
+  varuna::Run();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "src/varuna/varuna.h"
+
+namespace varuna {
+
+struct MegatronSetup {
+  TransformerSpec spec;
+  int tensor_parallel = 8;
+  int data_parallel = 1;
+  int microbatch_size = 8;
+  double total_batch = 8192.0;
+  VmType vm = Nc24V3();
+  FabricSpec fabric = CommodityFabric();
+};
+
+// Evaluates the Megatron intra-layer baseline on a fresh cluster big enough
+// for the requested configuration.
+inline IntraLayerResult EvaluateMegatron(const MegatronSetup& setup) {
+  Cluster cluster(setup.fabric);
+  const int gpus = setup.tensor_parallel * setup.data_parallel;
+  const int vms = (gpus + setup.vm.node.num_gpus - 1) / setup.vm.node.num_gpus + 1;
+  cluster.AddVms(setup.vm, vms);
+  IntraLayerConfig config;
+  config.tensor_parallel = setup.tensor_parallel;
+  config.data_parallel = setup.data_parallel;
+  config.microbatch_size = setup.microbatch_size;
+  config.total_batch = setup.total_batch;
+  return EvaluateIntraLayer(setup.spec, cluster, config).value();
+}
+
+inline std::string ConfigLabel(int p, int d) {
+  return std::to_string(p) + "x" + std::to_string(d);
+}
+
+}  // namespace varuna
+
+#endif  // BENCH_BENCH_UTIL_H_

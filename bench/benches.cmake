@@ -1,0 +1,24 @@
+# Benchmark binaries: one per paper table/figure. They are defined from the
+# top-level CMakeLists via include() so that build/bench/ contains only the
+# runnable binaries (for `for b in build/bench/*; do $b; done`).
+
+function(varuna_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE ${VARUNA_ALL_LIBS} benchmark::benchmark Threads::Threads)
+endfunction()
+
+varuna_add_bench(fig3_spot_availability)
+varuna_add_bench(fig4_schedule_comparison)
+varuna_add_bench(fig5_gpt2_8b)
+varuna_add_bench(fig6_gpt2_2_5b)
+varuna_add_bench(fig7_gantt_20b)
+varuna_add_bench(fig8_morphing_timeline)
+varuna_add_bench(fig9_convergence)
+varuna_add_bench(fig10_pipedream_divergence)
+varuna_add_bench(tab3_pipeline_depth)
+varuna_add_bench(tab4_20b_comparison)
+varuna_add_bench(tab5_gpipe_comparison)
+varuna_add_bench(tab6_pipeline_systems)
+varuna_add_bench(tab7_simulator_accuracy)
+varuna_add_bench(ablation_varuna_design)

@@ -1,0 +1,87 @@
+// Figure 10 (appendix): PipeDream-2BW-style asynchronous training diverges
+// where synchronous training converges. Asynchronous pipeline parallelism
+// applies gradients computed on weights that are `pipeline depth` updates
+// stale; with momentum, the same hyper-parameters that are stable for
+// synchronous SGD blow up under staleness — the loss "shoots up" exactly as
+// in the paper's 355M GPT-2 run.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+constexpr int kVocab = 12;
+constexpr int kWidth = 16;
+constexpr int kBlocks = 6;
+
+void Run() {
+  std::printf("=== Figure 10: PipeDream-2BW asynchronous divergence ===\n\n");
+  MarkovTask task(kVocab, 6);
+  const float lr = 0.1f;
+  const float momentum = 0.9f;
+  const int steps = 500;
+  const int batch = 32;
+
+  std::printf("SGD lr=%.2f momentum=%.2f, batch %d; staleness = pipeline depth.\n\n", lr,
+              momentum, batch);
+  std::printf("  step | sync (staleness 0) | async staleness 4 | async staleness 6\n");
+
+  std::vector<int> stalenesses = {0, 4, 6};
+  std::vector<std::unique_ptr<StaleGradientTrainer>> trainers;
+  std::vector<Rng> streams;
+  for (const int staleness : stalenesses) {
+    Rng model_rng(77);
+    trainers.push_back(std::make_unique<StaleGradientTrainer>(
+        BuildBlockModel(kVocab, kWidth, kBlocks, &model_rng), staleness, lr, momentum));
+    streams.emplace_back(31);  // Identical data stream for every variant.
+  }
+  std::vector<double> last(stalenesses.size(), 0.0);
+  std::vector<int> diverged_at(stalenesses.size(), -1);
+  for (int step = 0; step < steps; ++step) {
+    for (size_t variant = 0; variant < trainers.size(); ++variant) {
+      if (diverged_at[variant] >= 0) {
+        continue;
+      }
+      const double loss = trainers[variant]->Step(task.Sample(batch, &streams[variant]));
+      last[variant] = loss;
+      if (std::isnan(loss) || loss > 50.0) {
+        diverged_at[variant] = step;
+      }
+    }
+    if (step % 25 == 0 || step == steps - 1) {
+      std::printf("  %4d |", step);
+      for (size_t variant = 0; variant < trainers.size(); ++variant) {
+        if (diverged_at[variant] >= 0) {
+          std::printf("       DIVERGED     |");
+        } else {
+          std::printf("      %8.4f      |", last[variant]);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nOutcome:\n");
+  for (size_t variant = 0; variant < trainers.size(); ++variant) {
+    if (diverged_at[variant] >= 0) {
+      std::printf("  staleness %d: loss shot up at step %d (diverged)\n",
+                  stalenesses[variant], diverged_at[variant]);
+    } else {
+      std::printf("  staleness %d: converged, final loss %.4f\n", stalenesses[variant],
+                  last[variant]);
+    }
+  }
+  std::printf("\nPaper: PipeDream-2BW's 355M GPT-2 run diverged after 16K iterations with\n"
+              "the published hyper-parameters, while synchronous (Varuna/GPipe-semantics)\n"
+              "training converged — the cost of sacrificing sync-SGD semantics.\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main() {
+  varuna::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 3: aggregate GPU availability when low-priority VMs with 1 and 4
+// GPUs are requested over 16 hours. The paper's observation: 1-GPU VMs yield
+// substantially more aggregate capacity than 4-GPU VMs.
+#include <cstdio>
+#include <string>
+
+#include "src/varuna/varuna.h"
+
+namespace varuna {
+namespace {
+
+std::string Sparkline(double value, double max_value, int width = 40) {
+  const int filled = static_cast<int>(value / max_value * width + 0.5);
+  return std::string(static_cast<size_t>(filled), '#') +
+         std::string(static_cast<size_t>(width - filled), '.');
+}
+
+void Run() {
+  std::printf("=== Figure 3: spot VM availability, 1-GPU vs 4-GPU VMs (16 h) ===\n\n");
+  SimEngine engine;
+  SpotMarket market(&engine, Rng(2024), 60.0);
+
+  // Both pools target the same aggregate GPU budget (320 GPUs).
+  SpotPoolDynamics single_gpu;
+  single_gpu.mean_availability = 0.85;
+  single_gpu.volatility = 0.18;
+  single_gpu.preemption_hazard = 1.0 / (10.0 * kHour);
+  single_gpu.max_grants_per_tick = 32;
+
+  SpotPoolDynamics quad_gpu;
+  quad_gpu.mean_availability = 0.45;
+  quad_gpu.volatility = 0.30;
+  quad_gpu.preemption_hazard = 1.0 / (6.0 * kHour);
+  quad_gpu.max_grants_per_tick = 8;
+
+  const int pool1 = market.AddPool(Nc6V3(), 320, single_gpu);
+  const int pool4 = market.AddPool(Nc24V3(), 80, quad_gpu);
+  market.SetDemand(pool1, 320);
+  market.SetDemand(pool4, 80);
+  market.Start();
+
+  RunningStats gpus1;
+  RunningStats gpus4;
+  std::printf("hour | 1-GPU aggregate GPUs                      | 4-GPU aggregate GPUs\n");
+  for (double t = 0.5 * kHour; t <= 16.0 * kHour; t += 0.5 * kHour) {
+    engine.RunUntil(t);
+    const int g1 = market.GrantedGpus(pool1);
+    const int g4 = market.GrantedGpus(pool4);
+    gpus1.Add(g1);
+    gpus4.Add(g4);
+    std::printf("%4.1f | %s %3d | %s %3d\n", t / kHour, Sparkline(g1, 320).c_str(), g1,
+                Sparkline(g4, 320).c_str(), g4);
+  }
+
+  std::printf("\nMean aggregate GPUs over 16 h: 1-GPU VMs = %.0f, 4-GPU VMs = %.0f (%.1fx)\n",
+              gpus1.mean(), gpus4.mean(), gpus1.mean() / gpus4.mean());
+  std::printf("Paper's takeaway (Observation 4): 1-GPU low-priority VMs are markedly more\n"
+              "available, so Varuna requests 1-GPU VMs and tolerates the extra networking.\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main() {
+  varuna::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 5: performance of Varuna and Megatron on GPT-2 8.3B (mini-batch
+// 8192) across 64/128/300 commodity low-priority GPUs, plus the hypercluster
+// comparison. Metrics: examples/s/GPU and useful TFLOP/s/GPU (recompute
+// removed), as the paper reports.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 5: GPT-2 8.3B — Varuna vs Megatron, mini-batch 8192 ===\n\n");
+  const TransformerSpec spec = Gpt2_8_3B();
+  Table table({"system", "cluster", "GPUs", "config", "ex/s/GPU", "TFLOP/s/GPU"});
+
+  // --- Varuna on low-priority 1-GPU VMs: 18x{3,7,16} (54/126/288 GPUs).
+  for (const auto& [gpus, replicas] : {std::pair{64, 3}, {128, 7}, {300, 16}}) {
+    PipelineEvalRequest request;
+    request.spec = spec;
+    request.pipeline_depth = 18;
+    request.data_parallel = replicas;
+    request.microbatch_size = 4;
+    request.total_batch = 8192;
+    request.vm = Nc6V3();
+    request.fabric = CommodityFabric();
+    const PipelineEvalResult result = EvaluatePipeline(request);
+    table.AddRow({"Varuna", "low-pri", std::to_string(gpus) + " (uses " +
+                                            std::to_string(result.gpus_used) + ")",
+                  ConfigLabel(18, replicas), Table::Num(result.examples_per_s_per_gpu, 3),
+                  Table::Num(result.tflops_per_gpu, 1)});
+  }
+
+  // --- Megatron on commodity 4-GPU VMs: 16-way intra-layer (8.3B does not
+  // fit 8-way in 16 GB), data-parallel over the rest.
+  for (const auto& [gpus, replicas] : {std::pair{64, 4}, {128, 8}, {300, 18}}) {
+    MegatronSetup setup;
+    setup.spec = spec;
+    setup.tensor_parallel = 16;
+    setup.data_parallel = replicas;
+    setup.microbatch_size = 8;
+    const IntraLayerResult result = EvaluateMegatron(setup);
+    table.AddRow({"Megatron", "low-pri", std::to_string(gpus), "T16 x D" + std::to_string(replicas),
+                  Table::Num(result.examples_per_s_per_gpu, 4),
+                  Table::Num(result.examples_per_s_per_gpu * 3.0 * spec.TotalFwdFlops() / 1e12,
+                             2)});
+  }
+
+  // --- Hypercluster: Megatron with 16-way partitioning inside one DGX-2.
+  {
+    MegatronSetup setup;
+    setup.spec = spec;
+    setup.tensor_parallel = 16;
+    setup.data_parallel = 16;
+    setup.microbatch_size = 8;
+    setup.vm = Dgx2();
+    setup.fabric = HyperclusterFabric();
+    const IntraLayerResult result = EvaluateMegatron(setup);
+    table.AddRow({"Megatron", "hyper", "256", "T16 x D16",
+                  Table::Num(result.examples_per_s_per_gpu, 3),
+                  Table::Num(result.examples_per_s_per_gpu * 3.0 * spec.TotalFwdFlops() / 1e12,
+                             1)});
+  }
+  {
+    PipelineEvalRequest request;
+    request.spec = spec;
+    request.pipeline_depth = 18;
+    request.data_parallel = 16;
+    request.microbatch_size = 4;
+    request.total_batch = 8192;
+    request.vm = Dgx2();
+    request.fabric = HyperclusterFabric();
+    const PipelineEvalResult result = EvaluatePipeline(request);
+    table.AddRow({"Varuna", "hyper", "288", ConfigLabel(18, 16),
+                  Table::Num(result.examples_per_s_per_gpu, 3),
+                  Table::Num(result.tflops_per_gpu, 1)});
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Shapes to compare with the paper:\n"
+      "  * Varuna >> Megatron on commodity VMs (paper: up to 18x; the 10 Gbps wire\n"
+      "    cannot carry Megatron's ~5 GB/example/GPU of synchronous allreduces);\n"
+      "  * Varuna on 5x-cheaper spot VMs beats Megatron on the hypercluster (paper: +17%%);\n"
+      "  * Varuna-hyper > Megatron-hyper (paper: +48%%) — intra-layer partitioning is\n"
+      "    not the best choice even with NVLink (Observation 1);\n"
+      "  * Varuna per-GPU throughput decays slowly from 54 to 288 GPUs (near-linear\n"
+      "    scaling; paper: -7.5%% over 5.1x more GPUs).\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main() {
+  varuna::Run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 6: performance of Varuna and Megatron on GPT-2 2.5B (mini-batch
+// 8192) on commodity VMs and the hypercluster, plus the §7.1.1 BERT-large
+// result (Varuna 4x8 on commodity VMs vs fully data-parallel training).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 6: GPT-2 2.5B — Varuna vs Megatron, mini-batch 8192 ===\n\n");
+  const TransformerSpec spec = Gpt2_2_5B();
+  Table table({"system", "cluster", "GPUs", "config", "ex/s/GPU", "TFLOP/s/GPU"});
+
+  // Varuna low-pri: 9x{7,14,28} (63/126/252 GPUs).
+  for (const auto& [gpus, replicas] : {std::pair{64, 7}, {128, 14}, {256, 28}}) {
+    PipelineEvalRequest request;
+    request.spec = spec;
+    request.pipeline_depth = 9;
+    request.data_parallel = replicas;
+    request.microbatch_size = 4;
+    request.total_batch = 8192;
+    const PipelineEvalResult result = EvaluatePipeline(request);
+    table.AddRow({"Varuna", "low-pri",
+                  std::to_string(gpus) + " (uses " + std::to_string(result.gpus_used) + ")",
+                  ConfigLabel(9, replicas), Table::Num(result.examples_per_s_per_gpu, 2),
+                  Table::Num(result.tflops_per_gpu, 1)});
+  }
+
+  // Megatron low-pri: 2.5B fits 4-way intra-layer, i.e. within one NC24_v3
+  // node (PCIe allreduces) — why the commodity gap is only ~4x for this model.
+  for (const auto& [gpus, replicas] : {std::pair{64, 16}, {128, 32}, {256, 64}}) {
+    MegatronSetup setup;
+    setup.spec = spec;
+    setup.tensor_parallel = 4;
+    setup.data_parallel = replicas;
+    setup.microbatch_size = 8;
+    const IntraLayerResult result = EvaluateMegatron(setup);
+    table.AddRow({"Megatron", "low-pri", std::to_string(gpus), "T4 x D" + std::to_string(replicas),
+                  Table::Num(result.examples_per_s_per_gpu, 2),
+                  Table::Num(result.examples_per_s_per_gpu * 3.0 * spec.TotalFwdFlops() / 1e12,
+                             1)});
+  }
+
+  // Hypercluster pair.
+  {
+    MegatronSetup setup;
+    setup.spec = spec;
+    setup.tensor_parallel = 4;
+    setup.data_parallel = 63;
+    setup.microbatch_size = 8;
+    setup.vm = Dgx2();
+    setup.fabric = HyperclusterFabric();
+    const IntraLayerResult result = EvaluateMegatron(setup);
+    table.AddRow({"Megatron", "hyper", "252", "T4 x D63",
+                  Table::Num(result.examples_per_s_per_gpu, 2),
+                  Table::Num(result.examples_per_s_per_gpu * 3.0 * spec.TotalFwdFlops() / 1e12,
+                             1)});
+  }
+  {
+    PipelineEvalRequest request;
+    request.spec = spec;
+    request.pipeline_depth = 9;
+    request.data_parallel = 28;
+    request.microbatch_size = 4;
+    request.total_batch = 8192;
+    request.vm = Dgx2();
+    request.fabric = HyperclusterFabric();
+    const PipelineEvalResult result = EvaluatePipeline(request);
+    table.AddRow({"Varuna", "hyper", "252", ConfigLabel(9, 28),
+                  Table::Num(result.examples_per_s_per_gpu, 2),
+                  Table::Num(result.tflops_per_gpu, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // --- §7.1.1: BERT-large, batch 32K, sequence 512 on 32 commodity GPUs.
+  std::printf("=== BERT-large (340M), mini-batch 32768, 32 low-priority GPUs ===\n\n");
+  Table bert({"system", "config", "ex/s (total)", "ex/s/GPU"});
+  {
+    PipelineEvalRequest request;
+    request.spec = BertLarge();
+    request.pipeline_depth = 4;
+    request.data_parallel = 8;
+    request.microbatch_size = 8;
+    request.total_batch = 32768;
+    const PipelineEvalResult result = EvaluatePipeline(request);
+    bert.AddRow({"Varuna", "4x8", Table::Num(result.examples_per_s, 0),
+                 Table::Num(result.examples_per_s_per_gpu, 2)});
+  }
+  {
+    Cluster cluster(CommodityFabric());
+    cluster.AddVms(Nc6V3(), 32);
+    DataParallelConfig config;
+    config.replicas = 32;
+    config.microbatch_size = 8;
+    config.total_batch = 32768;
+    config.gradient_checkpointing = true;
+    const DataParallelResult result = EvaluateDataParallel(BertLarge(), cluster, config).value();
+    bert.AddRow({"Data-parallel", "1x32", Table::Num(result.examples_per_s, 0),
+                 Table::Num(result.examples_per_s_per_gpu, 2)});
+  }
+  std::printf("%s\n", bert.Render().c_str());
+  std::printf("Paper quotes 710 ex/s for Varuna 4x8 on commodity VMs (vs 700 ex/s NVIDIA\n"
+              "DGX-1 reference); the data-parallel baseline pays a full-model allreduce\n"
+              "per mini-batch on the 10 Gbps network.\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main() {
+  varuna::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 8: dynamic timeline of Varuna training GPT-2 2.5B on spot VMs over
+// 60 hours — the manager grows/shrinks the job (morphing events annotated
+// with the chosen P x D), rides out preemptions via checkpoints, and keeps
+// per-GPU throughput nearly flat while total throughput tracks capacity.
+// Also reproduces Observation 4's 1-GPU vs 4-GPU VM throughput comparison.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+void Run(int hours) {
+  std::printf("=== Figure 8: %d h dynamic timeline, GPT-2 2.5B on spot VMs ===\n\n", hours);
+  SimEngine engine;
+  Cluster cluster(CommodityFabric());
+  SpotMarket market(&engine, Rng(7), 300.0);
+  SpotPoolDynamics dynamics;
+  dynamics.mean_availability = 0.70;
+  dynamics.volatility = 0.14;              // Slow, large capacity swings.
+  dynamics.reversion_rate = 1.0 / (8.0 * kHour);
+  dynamics.preemption_hazard = 1.0 / (200.0 * kHour);
+  dynamics.max_grants_per_tick = 16;
+  dynamics.reclaim_slack_vms = 12;  // Azure-like burst evictions, not per-tick churn.
+  const int pool = market.AddPool(Nc6V3(), 160, dynamics);
+
+  TrainerOptions options;
+  options.total_batch = 8192;
+  options.demand_vms = 160;
+  options.checkpoint_every_minibatches = 10;
+  options.provision_check_interval_s = 1800.0;
+  options.seed = 11;
+  ElasticTrainer trainer(&engine, &cluster, &market, pool, Nc6V3(), Gpt2_2_5B(), options);
+
+  FailStutterInjector stutter(&engine, &cluster, Rng(13), FailStutterOptions());
+
+  trainer.Start();
+  market.Start();
+  stutter.Start();
+  engine.RunUntil(hours * kHour);
+
+  const SessionStats& stats = trainer.stats();
+
+  // Throughput series, hourly buckets.
+  std::printf("hour | GPUs avail | GPUs used | config | ex/s   | ex/s/GPU\n");
+  size_t sample_index = 0;
+  size_t event_index = 0;
+  RunningStats per_gpu;
+  RunningStats total_rate;
+  for (int hour = 1; hour <= hours; ++hour) {
+    const double t = hour * kHour;
+    TimelineSample latest{};
+    bool have = false;
+    while (sample_index < stats.samples.size() && stats.samples[sample_index].time_s <= t) {
+      latest = stats.samples[sample_index];
+      have = true;
+      ++sample_index;
+    }
+    std::string events;
+    while (event_index < stats.events.size() && stats.events[event_index].time_s <= t) {
+      const TimelineEvent& event = stats.events[event_index];
+      events += "  <-- " + event.kind + " to " +
+                ConfigLabel(event.pipeline_depth, event.data_parallel);
+      ++event_index;
+    }
+    if (have) {
+      per_gpu.Add(latest.examples_per_s_per_gpu);
+      total_rate.Add(latest.examples_per_s);
+      std::printf("%4d | %10d | %9d | %-6s | %6.1f | %.2f%s\n", hour, latest.gpus_available,
+                  latest.gpus_in_use,
+                  ConfigLabel(latest.pipeline_depth, latest.data_parallel).c_str(),
+                  latest.examples_per_s, latest.examples_per_s_per_gpu, events.c_str());
+    } else {
+      std::printf("%4d | (job reconfiguring or waiting for capacity)%s\n", hour, events.c_str());
+    }
+  }
+
+  std::printf("\nSummary over %d h:\n", hours);
+  std::printf("  mini-batches: %lld   examples: %.2e\n",
+              static_cast<long long>(stats.minibatches_done), stats.examples_processed);
+  std::printf("  morphs: %d   preemptions hit: %d   stutter replacements: %d   checkpoints: %d\n",
+              stats.morphs, stats.preemptions_hit, stats.stutters_detected, stats.checkpoints);
+  std::printf("  stalled (restores + waiting): %.1f h (%.1f%% of wall clock)\n",
+              stats.stalled_s / kHour, 100.0 * stats.stalled_s / (hours * kHour));
+  std::printf("  total ex/s varied %.0f..%.0f (%.1fx) while ex/s/GPU varied only "
+              "%.2f..%.2f (+/-%.0f%%)\n",
+              total_rate.min(), total_rate.max(), total_rate.max() / total_rate.min(),
+              per_gpu.min(), per_gpu.max(),
+              100.0 * (per_gpu.max() - per_gpu.min()) / (2.0 * per_gpu.mean()));
+  std::printf("  (paper: total throughput varies ~5x with capacity; per-GPU only ~15%%)\n\n");
+
+  // --- Observation 4: 1-GPU vs 4-GPU VMs at 72 GPUs (paper: 1.77 vs 1.81).
+  std::printf("=== Observation 4: 1-GPU vs 4-GPU VMs, GPT-2 2.5B on 72 GPUs (9x8) ===\n\n");
+  Table table({"VM type", "ex/s/GPU"});
+  for (const bool quad : {false, true}) {
+    PipelineEvalRequest request;
+    request.spec = Gpt2_2_5B();
+    request.pipeline_depth = 9;
+    request.data_parallel = 8;
+    request.microbatch_size = 4;
+    request.total_batch = 8192;
+    request.vm = quad ? Nc24V3() : Nc6V3();
+    const PipelineEvalResult result = EvaluatePipeline(request);
+    table.AddRow({quad ? "NC24_v3 (4-GPU)" : "NC6_v3 (1-GPU)",
+                  Table::Num(result.examples_per_s_per_gpu, 2)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("Thrifty networking keeps 1-GPU VMs within a few %% of 4-GPU VMs, so Varuna\n"
+              "can harvest the much larger 1-GPU spot pool (Figure 3).\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main(int argc, char** argv) {
+  varuna::Run(argc > 1 ? std::atoi(argv[1]) : 60);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 5: Varuna vs GPipe. The public GPipe implementation only partitions
+// within a single node, so the direct comparison uses BERT-72 on one 4-GPU
+// VM (4-stage pipeline) at micro-batch sizes 16 and 32; the multi-node 8.3B
+// comparison runs GPipe's schedule on the simulated cluster under normal,
+// 1.5x-slower and 2x-slower networks (mini-batch 8192 throughout).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+PipelineEvalResult Eval(const TransformerSpec& spec, SystemUnderTest system, int depth,
+                        int replicas, int m, const VmType& vm, double slowdown) {
+  PipelineEvalRequest request;
+  request.spec = spec;
+  request.system = system;
+  request.pipeline_depth = depth;
+  request.data_parallel = replicas;
+  request.microbatch_size = m;
+  request.total_batch = 8192;
+  request.vm = vm;
+  request.network_slowdown = slowdown;
+  return EvaluatePipeline(request);
+}
+
+void Run() {
+  std::printf("=== Table 5: Varuna vs GPipe (4-stage pipelines, batch 8192) ===\n\n");
+  Table table({"Workload", "Varuna ex/s/GPU", "GPipe ex/s/GPU", "Varuna advantage"});
+
+  // BERT-72 on one NC24_v3 (single node, like the public GPipe code).
+  for (const int m : {16, 32}) {
+    const auto varuna = Eval(Bert72(), SystemUnderTest::kVaruna, 4, 1, m, Nc24V3(), 1.0);
+    const auto gpipe = Eval(Bert72(), SystemUnderTest::kGpipe, 4, 1, m, Nc24V3(), 1.0);
+    table.AddRow({"BERT-72 (m=" + std::to_string(m) + ")",
+                  Table::Num(varuna.examples_per_s_per_gpu, 1),
+                  Table::Num(gpipe.examples_per_s_per_gpu, 1),
+                  "+" + Table::Num(100.0 * (varuna.examples_per_s_per_gpu /
+                                                gpipe.examples_per_s_per_gpu -
+                                            1.0),
+                                   0) +
+                      "%"});
+  }
+
+  // Simulated 8.3B multi-node comparison under degraded networks (18x3 on
+  // 1-GPU VMs; the paper used its simulator for this sweep).
+  for (const double slowdown : {1.0, 1.5, 2.0}) {
+    const auto varuna = Eval(Gpt2_8_3B(), SystemUnderTest::kVaruna, 18, 3, 4, Nc6V3(), slowdown);
+    const auto gpipe = Eval(Gpt2_8_3B(), SystemUnderTest::kGpipe, 18, 3, 4, Nc6V3(), slowdown);
+    std::string label = "Simulated 8.3B";
+    if (slowdown == 1.0) {
+      label += " (normal network)";
+    } else {
+      label += " (" + Table::Num(slowdown, 1) + "x slower net)";
+    }
+    table.AddRow({label, Table::Num(varuna.examples_per_s_per_gpu, 2),
+                  Table::Num(gpipe.examples_per_s_per_gpu, 2),
+                  "+" + Table::Num(100.0 * (varuna.examples_per_s_per_gpu /
+                                                gpipe.examples_per_s_per_gpu -
+                                            1.0),
+                                   0) +
+                      "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper's Table 5: BERT-72 m=16: 35.9 vs 21.1 (+70%%); m=32: 41.8 vs 36.2 (+15%%);\n"
+      "8.3B: 0.60 vs 0.55 / 0.59 vs 0.48 (1.5x) / 0.59 vs 0.426 (2x).\n"
+      "Shapes: GPipe is far more sensitive to small micro-batches (bubble overhead)\n"
+      "and its bunched schedule degrades faster as the network slows, while Varuna's\n"
+      "jitter-tolerant schedule holds nearly flat.\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main() {
+  varuna::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 6: Varuna vs DeepSpeed vs Megatron-1F1B vs PipeDream on single-GPU
+// commodity VMs, mini-batch 2400 (intra-layer parallelism and ZeRO disabled
+// everywhere for a pure pipeline-schedule comparison). PipeDream's P weight
+// versions do not fit 16 GB for these models — it reports OOM, as in the
+// paper.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+void Run() {
+  std::printf("=== Table 6: pipeline systems on 1-GPU VMs, mini-batch 2400 ===\n\n");
+  const std::vector<std::tuple<TransformerSpec, int, int>> workloads = {
+      {Gpt2_8_3B(), 18, 4},
+      {Gpt2_2_5B(), 9, 8},
+  };
+  const std::vector<SystemUnderTest> systems = {
+      SystemUnderTest::kVaruna, SystemUnderTest::kDeepSpeed, SystemUnderTest::kOneFOneB,
+      SystemUnderTest::kPipeDreamAsync};
+
+  Table table({"Model (PxD)", "Varuna", "DeepSpeed", "Megatron-1F1B", "PipeDream"});
+  for (const auto& [spec, depth, replicas] : workloads) {
+    std::vector<std::string> row = {spec.name + " (" + ConfigLabel(depth, replicas) + ")"};
+    double varuna_rate = 0.0;
+    for (const SystemUnderTest system : systems) {
+      PipelineEvalRequest request;
+      request.spec = spec;
+      request.system = system;
+      request.pipeline_depth = depth;
+      request.data_parallel = replicas;
+      request.microbatch_size = 4;
+      request.total_batch = 2400;
+      request.runs = 3;
+      const PipelineEvalResult result = EvaluatePipeline(request);
+      if (!result.feasible) {
+        row.push_back("OOM");
+        continue;
+      }
+      if (system == SystemUnderTest::kVaruna) {
+        varuna_rate = result.examples_per_s_per_gpu;
+        row.push_back(Table::Num(result.examples_per_s_per_gpu, 2));
+      } else {
+        row.push_back(Table::Num(result.examples_per_s_per_gpu, 2) + " (" +
+                      Table::Num(100.0 * (varuna_rate / result.examples_per_s_per_gpu - 1.0),
+                                 0) +
+                      "% behind)");
+      }
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper's Table 6 (ex/s/GPU): 8.3B (18x4): Varuna 0.59, DeepSpeed 0.47,\n"
+      "Megatron-1F1B 0.52, PipeDream OOM; 2.5B (9x8): 1.5 / 1.24 / 1.31 / OOM.\n"
+      "Shapes: Varuna leads both (its opportunistic, interspersed schedule rides\n"
+      "out network jitter); DeepSpeed's slotted schedule trails 1F1B; PipeDream's\n"
+      "weight stashing cannot fit massive models.\n");
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main() {
+  varuna::Run();
+  return 0;
+}

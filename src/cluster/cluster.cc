@@ -1,0 +1,60 @@
+#include "src/cluster/cluster.h"
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+VmId Cluster::AddVm(const VmType& type) {
+  const VmId id = num_vms();
+  VmInstance instance;
+  instance.type = type;
+  instance.node = topology_.AddNode(type.node);
+  vms_.push_back(instance);
+  for (int g = 0; g < type.node.num_gpus; ++g) {
+    gpu_to_vm_.push_back(id);
+  }
+  return id;
+}
+
+void Cluster::AddVms(const VmType& type, int count) {
+  for (int i = 0; i < count; ++i) {
+    AddVm(type);
+  }
+}
+
+void Cluster::Preempt(VmId vm) {
+  VARUNA_CHECK_GE(vm, 0);
+  VARUNA_CHECK_LT(vm, num_vms());
+  vms_[static_cast<size_t>(vm)].active = false;
+}
+
+void Cluster::SetSlowFactor(VmId vm, double factor) {
+  VARUNA_CHECK_GE(vm, 0);
+  VARUNA_CHECK_LT(vm, num_vms());
+  VARUNA_CHECK_GE(factor, 1.0);
+  vms_[static_cast<size_t>(vm)].slow_factor = factor;
+}
+
+const VmInstance& Cluster::Vm(VmId vm) const {
+  VARUNA_CHECK_GE(vm, 0);
+  VARUNA_CHECK_LT(vm, num_vms());
+  return vms_[static_cast<size_t>(vm)];
+}
+
+VmId Cluster::VmOfGpu(GpuId gpu) const {
+  VARUNA_CHECK_GE(gpu, 0);
+  VARUNA_CHECK_LT(gpu, static_cast<GpuId>(gpu_to_vm_.size()));
+  return gpu_to_vm_[static_cast<size_t>(gpu)];
+}
+
+std::vector<GpuId> Cluster::ActiveGpus() const {
+  std::vector<GpuId> gpus;
+  for (GpuId g = 0; g < static_cast<GpuId>(gpu_to_vm_.size()); ++g) {
+    if (GpuActive(g)) {
+      gpus.push_back(g);
+    }
+  }
+  return gpus;
+}
+
+}  // namespace varuna

@@ -1,0 +1,65 @@
+// The cluster holds VM instances (each contributing a topology node), their
+// liveness (spot preemptions) and performance state (fail-stutter slowdowns).
+// The topology is append-only so GpuIds stay stable; preempted VMs are simply
+// excluded from the active set — replacement capacity arrives as new VMs.
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <vector>
+
+#include "src/cluster/vm.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+
+namespace varuna {
+
+using VmId = int;
+
+struct VmInstance {
+  VmType type;
+  NodeId node = -1;
+  bool active = true;
+  // Compute-time multiplier; > 1 while the VM is fail-stuttering (§4.6).
+  double slow_factor = 1.0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const FabricSpec& fabric) : topology_(fabric), network_(&topology_) {}
+
+  VmId AddVm(const VmType& type);
+
+  // Convenience: add `count` identical VMs.
+  void AddVms(const VmType& type, int count);
+
+  void Preempt(VmId vm);
+  bool IsActive(VmId vm) const { return Vm(vm).active; }
+
+  void SetSlowFactor(VmId vm, double factor);
+
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+  const VmInstance& Vm(VmId vm) const;
+
+  VmId VmOfGpu(GpuId gpu) const;
+  const GpuSpec& Gpu(GpuId gpu) const { return Vm(VmOfGpu(gpu)).type.gpu; }
+  double SlowFactor(GpuId gpu) const { return Vm(VmOfGpu(gpu)).slow_factor; }
+  bool GpuActive(GpuId gpu) const { return Vm(VmOfGpu(gpu)).active; }
+
+  // Active GPUs ordered by node, which makes contiguous slices node-packed —
+  // the property the placement policy relies on.
+  std::vector<GpuId> ActiveGpus() const;
+  int NumActiveGpus() const { return static_cast<int>(ActiveGpus().size()); }
+
+  const Topology& topology() const { return topology_; }
+  const Network& network() const { return network_; }
+
+ private:
+  Topology topology_;
+  Network network_;
+  std::vector<VmInstance> vms_;
+  std::vector<VmId> gpu_to_vm_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,34 @@
+#include "src/cluster/fail_stutter.h"
+
+#include <vector>
+
+namespace varuna {
+
+void FailStutterInjector::Start() { ScheduleNextOnset(); }
+
+void FailStutterInjector::ScheduleNextOnset() {
+  engine_->Schedule(rng_.Exponential(options_.mean_onset_interval_s), [this] { Onset(); });
+}
+
+void FailStutterInjector::Onset() {
+  // Pick a random active, currently-healthy VM.
+  std::vector<VmId> candidates;
+  for (VmId vm = 0; vm < cluster_->num_vms(); ++vm) {
+    if (cluster_->IsActive(vm) && cluster_->Vm(vm).slow_factor == 1.0) {
+      candidates.push_back(vm);
+    }
+  }
+  if (!candidates.empty()) {
+    const VmId victim = candidates[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+    const double factor = rng_.Uniform(options_.min_slow_factor, options_.max_slow_factor);
+    cluster_->SetSlowFactor(victim, factor);
+    engine_->Schedule(rng_.Exponential(options_.mean_duration_s), [this, victim] {
+      // The VM may have been preempted meanwhile; resetting is still harmless.
+      cluster_->SetSlowFactor(victim, 1.0);
+    });
+  }
+  ScheduleNextOnset();
+}
+
+}  // namespace varuna

@@ -1,0 +1,44 @@
+// Fail-stutter fault injection (§4.6): on pre-emptible VMs, individual
+// machines intermittently run slower than the rest, "often by as much as 30%".
+// The injector randomly degrades active VMs for exponentially-distributed
+// episodes; the manager is expected to notice via heartbeat outliers.
+#ifndef SRC_CLUSTER_FAIL_STUTTER_H_
+#define SRC_CLUSTER_FAIL_STUTTER_H_
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/sim/engine.h"
+
+namespace varuna {
+
+struct FailStutterOptions {
+  // Expected time between stutter onsets across the whole cluster.
+  double mean_onset_interval_s = 2.0 * kHour;
+  // Episode duration is Exponential(mean_duration_s).
+  double mean_duration_s = 30.0 * kMinute;
+  // Slow factor drawn uniformly in [min_slow_factor, max_slow_factor].
+  double min_slow_factor = 1.15;
+  double max_slow_factor = 1.35;
+};
+
+class FailStutterInjector {
+ public:
+  FailStutterInjector(SimEngine* engine, Cluster* cluster, Rng rng, FailStutterOptions options)
+      : engine_(engine), cluster_(cluster), rng_(rng), options_(options) {}
+
+  // Begins injecting. Call once before running the engine.
+  void Start();
+
+ private:
+  void ScheduleNextOnset();
+  void Onset();
+
+  SimEngine* engine_;
+  Cluster* cluster_;
+  Rng rng_;
+  FailStutterOptions options_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_CLUSTER_FAIL_STUTTER_H_

@@ -1,0 +1,46 @@
+// GPU compute model. The testbed derives per-op execution times from an
+// achieved-FLOPs curve: small per-kernel work runs at low efficiency (poor
+// tensor-core utilisation), saturating as work grows. This reproduces the
+// paper's observation that the micro-batch size m is constrained from below
+// ("in BERT-large, m = 8 performs 26% better than m = 4", §4.1) and from
+// above (GPU memory).
+#ifndef SRC_CLUSTER_GPU_H_
+#define SRC_CLUSTER_GPU_H_
+
+#include <string>
+
+#include "src/common/units.h"
+
+namespace varuna {
+
+struct GpuSpec {
+  std::string name = "V100-16GB";
+  // Peak mixed-precision tensor-core throughput.
+  double peak_flops = 125.0 * kTera;
+  // Fraction of peak achievable by a fully saturating kernel (cuBLAS-realistic).
+  double max_efficiency = 0.40;
+  // Per-kernel work (FLOPs) at which efficiency reaches half of max. Fitted to
+  // the paper's BERT-large m=8 vs m=4 26% throughput gap.
+  double half_work_flops = 3.6e10;
+  double memory_bytes = 16.0 * kGiB;
+
+  // Sustained FLOP/s for a kernel of `work_flops`.
+  double AchievedFlops(double work_flops) const {
+    if (work_flops <= 0.0) {
+      return peak_flops * max_efficiency;
+    }
+    return peak_flops * max_efficiency * work_flops / (work_flops + half_work_flops);
+  }
+
+  // Execution time of a kernel of `work_flops`.
+  double ComputeTime(double work_flops) const {
+    if (work_flops <= 0.0) {
+      return 0.0;
+    }
+    return work_flops / AchievedFlops(work_flops);
+  }
+};
+
+}  // namespace varuna
+
+#endif  // SRC_CLUSTER_GPU_H_

@@ -1,0 +1,61 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace varuna {
+
+std::vector<GpuId> Placement::StageRing(int stage) const {
+  std::vector<GpuId> ring;
+  ring.reserve(gpus.size());
+  for (const auto& pipeline : gpus) {
+    ring.push_back(pipeline[static_cast<size_t>(stage)]);
+  }
+  return ring;
+}
+
+std::vector<GpuId> Placement::AllGpus() const {
+  std::vector<GpuId> all;
+  for (const auto& pipeline : gpus) {
+    all.insert(all.end(), pipeline.begin(), pipeline.end());
+  }
+  return all;
+}
+
+Result<Placement> PlaceJob(const Cluster& cluster, int pipeline_depth, int data_parallel,
+                           const std::vector<GpuId>& exclude) {
+  VARUNA_CHECK_GT(pipeline_depth, 0);
+  VARUNA_CHECK_GT(data_parallel, 0);
+  std::vector<GpuId> pool = cluster.ActiveGpus();
+  if (!exclude.empty()) {
+    pool.erase(std::remove_if(pool.begin(), pool.end(),
+                              [&](GpuId g) {
+                                return std::find(exclude.begin(), exclude.end(), g) !=
+                                       exclude.end();
+                              }),
+               pool.end());
+  }
+  const int needed = pipeline_depth * data_parallel;
+  if (static_cast<int>(pool.size()) < needed) {
+    std::ostringstream message;
+    message << "placement needs " << needed << " GPUs (" << pipeline_depth << "x"
+            << data_parallel << ") but only " << pool.size() << " are available";
+    return Result<Placement>::Error(message.str());
+  }
+
+  Placement placement;
+  placement.pipeline_depth = pipeline_depth;
+  placement.data_parallel = data_parallel;
+  placement.gpus.resize(static_cast<size_t>(data_parallel));
+  // Pipeline-major fill over the node-ordered pool: replica d takes GPUs
+  // [d*P, (d+1)*P), putting consecutive stages on the same node when the node
+  // has multiple GPUs.
+  for (int d = 0; d < data_parallel; ++d) {
+    auto& pipeline = placement.gpus[static_cast<size_t>(d)];
+    pipeline.assign(pool.begin() + static_cast<long>(d) * pipeline_depth,
+                    pool.begin() + static_cast<long>(d + 1) * pipeline_depth);
+  }
+  return placement;
+}
+
+}  // namespace varuna

@@ -1,0 +1,38 @@
+// Placement of a P x D job onto active GPUs. The manager's policy (§4.6):
+// GPUs are taken in node order and filled pipeline-major, so consecutive
+// stages of the same pipeline share a node where possible (activations ride
+// the fast intra-node link) while data-parallel rings cross nodes — which is
+// why the §4.3 calibration measures allreduce with k rings in flight per NIC.
+#ifndef SRC_CLUSTER_PLACEMENT_H_
+#define SRC_CLUSTER_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/result.h"
+
+namespace varuna {
+
+struct Placement {
+  int pipeline_depth = 0;  // P
+  int data_parallel = 0;   // D
+  // gpus[replica][stage] — GPU running stage `stage` of pipeline replica `replica`.
+  std::vector<std::vector<GpuId>> gpus;
+
+  GpuId At(int replica, int stage) const { return gpus[static_cast<size_t>(replica)][static_cast<size_t>(stage)]; }
+
+  // GPUs forming the data-parallel allreduce ring for `stage`.
+  std::vector<GpuId> StageRing(int stage) const;
+
+  // All GPUs in use (P * D of them).
+  std::vector<GpuId> AllGpus() const;
+};
+
+// Places P x D onto the cluster's active GPUs; fails if fewer than P*D active.
+// `exclude` lists GPUs the manager has blacklisted (fail-stutter outliers).
+Result<Placement> PlaceJob(const Cluster& cluster, int pipeline_depth, int data_parallel,
+                           const std::vector<GpuId>& exclude = {});
+
+}  // namespace varuna
+
+#endif  // SRC_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,49 @@
+// Assertion macros. VARUNA_CHECK aborts with a message on contract violations;
+// it is always on (simulation correctness depends on these invariants, and the
+// cost is negligible next to the work they guard).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace varuna {
+
+// Collects a failure message via operator<< and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace varuna
+
+#define VARUNA_CHECK(condition) \
+  if (condition) {              \
+  } else                        \
+    ::varuna::CheckFailure(__FILE__, __LINE__, #condition)
+
+#define VARUNA_CHECK_EQ(a, b) VARUNA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VARUNA_CHECK_NE(a, b) VARUNA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VARUNA_CHECK_LT(a, b) VARUNA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VARUNA_CHECK_LE(a, b) VARUNA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VARUNA_CHECK_GT(a, b) VARUNA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define VARUNA_CHECK_GE(a, b) VARUNA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // SRC_COMMON_CHECK_H_

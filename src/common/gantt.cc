@@ -1,0 +1,55 @@
+#include "src/common/gantt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace varuna {
+
+std::string GanttChart::Render(int width) const {
+  double max_time = 0.0;
+  size_t name_width = 0;
+  for (const auto& row : rows_) {
+    name_width = std::max(name_width, row.name.size());
+    for (const auto& bar : row.bars) {
+      max_time = std::max(max_time, bar.end);
+    }
+  }
+  if (max_time <= 0.0) {
+    return "";
+  }
+  const double scale = static_cast<double>(width) / max_time;
+
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    std::string line(static_cast<size_t>(width), '.');
+    for (const auto& bar : row.bars) {
+      auto col_begin = static_cast<size_t>(std::lround(bar.start * scale));
+      auto col_end = static_cast<size_t>(std::lround(bar.end * scale));
+      col_begin = std::min(col_begin, static_cast<size_t>(width));
+      col_end = std::min(std::max(col_end, col_begin + 1), static_cast<size_t>(width));
+      for (size_t col = col_begin; col < col_end; ++col) {
+        const size_t offset = col - col_begin;
+        line[col] = offset < bar.label.size() ? bar.label[offset] : '=';
+      }
+    }
+    out << row.name << std::string(name_width - row.name.size(), ' ') << " |" << line << "|\n";
+  }
+
+  // Time axis with a tick label every ~20 columns.
+  out << std::string(name_width, ' ') << "  ";
+  std::string axis(static_cast<size_t>(width), ' ');
+  for (int col = 0; col < width; col += 20) {
+    const double t = static_cast<double>(col) / scale;
+    std::ostringstream tick;
+    tick << (max_time >= 100 ? std::lround(t) : std::lround(t * 10) / 10.0);
+    const std::string text = tick.str();
+    for (size_t i = 0; i < text.size() && col + static_cast<int>(i) < width; ++i) {
+      axis[static_cast<size_t>(col) + i] = text[i];
+    }
+  }
+  out << axis << "\n";
+  return out.str();
+}
+
+}  // namespace varuna

@@ -1,0 +1,39 @@
+// ASCII Gantt-chart rendering for pipeline schedules and execution traces
+// (Figures 4 and 7 of the paper).
+#ifndef SRC_COMMON_GANTT_H_
+#define SRC_COMMON_GANTT_H_
+
+#include <string>
+#include <vector>
+
+namespace varuna {
+
+// One bar on a Gantt row. Times are in arbitrary units; the renderer scales
+// them to a fixed character width.
+struct GanttBar {
+  double start = 0.0;
+  double end = 0.0;
+  // Short label drawn inside the bar, e.g. "F3" (forward, micro-batch 3).
+  std::string label;
+};
+
+struct GanttRow {
+  std::string name;  // e.g. "S1" for pipeline stage 1.
+  std::vector<GanttBar> bars;
+};
+
+class GanttChart {
+ public:
+  void AddRow(GanttRow row) { rows_.push_back(std::move(row)); }
+
+  // Renders all rows against a shared time axis, `width` characters wide.
+  // Bars are drawn with their label followed by '=' fill; gaps are '.'.
+  std::string Render(int width = 120) const;
+
+ private:
+  std::vector<GanttRow> rows_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_COMMON_GANTT_H_

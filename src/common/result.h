@@ -1,0 +1,58 @@
+// Lightweight value-or-error type used across Varuna for operations that can
+// fail for reasons the caller must handle (infeasible configurations, OOM,
+// missing checkpoints). Programmer errors use VARUNA_CHECK instead.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+// A Result<T> holds either a value of type T or an error message.
+// Typical use:
+//   Result<Partition> r = partitioner.Partition(graph, depth);
+//   if (!r.ok()) return Result<Plan>::Error(r.error());
+//   UsePartition(r.value());
+template <typename T>
+class Result {
+ public:
+  // Implicit conversion from a value keeps call sites terse: `return plan;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  static Result Error(std::string message) { return Result(ErrorTag{}, std::move(message)); }
+
+  bool ok() const { return value_.has_value(); }
+
+  const T& value() const& {
+    VARUNA_CHECK(ok()) << "Result accessed without value: " << error_;
+    return *value_;
+  }
+  T& value() & {
+    VARUNA_CHECK(ok()) << "Result accessed without value: " << error_;
+    return *value_;
+  }
+  T&& value() && {
+    VARUNA_CHECK(ok()) << "Result accessed without value: " << error_;
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    VARUNA_CHECK(!ok()) << "Result holds a value; no error to read";
+    return error_;
+  }
+
+ private:
+  struct ErrorTag {};
+  Result(ErrorTag, std::string message) : error_(std::move(message)) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_COMMON_RESULT_H_

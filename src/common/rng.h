@@ -1,0 +1,54 @@
+// Deterministic random number generation for the simulators. A single seeded
+// Rng drives every stochastic choice (jitter, preemptions, compute noise) so
+// that experiments are reproducible run-to-run.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace varuna {
+
+// xoshiro256** — small, fast, high-quality; plenty for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with the given mean (not rate). Requires mean > 0.
+  double Exponential(double mean);
+
+  // Log-normal such that the *median* of the distribution is `median` and the
+  // underlying normal has standard deviation `sigma`. Used for heavy-tailed
+  // network jitter.
+  double LogNormalMedian(double median, double sigma);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Spawns an independent stream (for parallel-in-concept subsystems that must
+  // not perturb each other's draws when one of them changes).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,51 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> samples, double q) {
+  VARUNA_CHECK(!samples.empty());
+  VARUNA_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double position = q * static_cast<double>(samples.size() - 1);
+  const size_t lower = static_cast<size_t>(position);
+  const size_t upper = std::min(lower + 1, samples.size() - 1);
+  const double fraction = position - static_cast<double>(lower);
+  return samples[lower] * (1.0 - fraction) + samples[upper] * fraction;
+}
+
+double Mean(const std::vector<double>& samples) {
+  VARUNA_CHECK(!samples.empty());
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+}  // namespace varuna

@@ -1,0 +1,30 @@
+// ASCII table rendering for benchmark/experiment output. Every bench binary
+// prints paper-style tables through this.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace varuna {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Numeric convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  // Renders with aligned columns and a header separator.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_COMMON_TABLE_H_

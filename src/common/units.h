@@ -1,0 +1,29 @@
+// Unit helpers. All simulator times are in seconds (double), sizes in bytes
+// (double, since they participate in bandwidth arithmetic), rates in
+// bytes/second and FLOP/second.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+namespace varuna {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+constexpr double kMicrosecond = 1e-6;
+constexpr double kMillisecond = 1e-3;
+constexpr double kSecond = 1.0;
+constexpr double kMinute = 60.0;
+constexpr double kHour = 3600.0;
+
+// Network rates are usually quoted in bits/second; convert to bytes/second.
+constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+
+}  // namespace varuna
+
+#endif  // SRC_COMMON_UNITS_H_

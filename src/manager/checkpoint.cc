@@ -1,0 +1,40 @@
+#include "src/manager/checkpoint.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+double CheckpointStore::BeginCheckpoint(int64_t minibatch_id, double total_params,
+                                        int data_parallel) {
+  VARUNA_CHECK_GE(data_parallel, 1);
+  VARUNA_CHECK_GT(total_params, 0.0);
+  const double total_bytes = kCheckpointBytesPerParam * total_params;
+  // Replicas shard the write; each stage writes its own layers, all in
+  // parallel, so the stall is one shard over local SSD.
+  const double shard_bytes = total_bytes / data_parallel;
+  const double stall = shard_bytes / options_.ssd_write_bps;
+  latest_local_ = minibatch_id;
+  ++checkpoints_written_;
+
+  // Background upload of the whole checkpoint (VMs upload their shards in
+  // parallel; the slowest shard gates completion).
+  const double upload = shard_bytes / options_.cloud_upload_bps;
+  engine_->Schedule(stall + upload, [this, minibatch_id] {
+    latest_cloud_ = std::max(latest_cloud_, minibatch_id);
+  });
+  return stall;
+}
+
+int64_t CheckpointStore::LatestRestorable(bool local_shards_lost) const {
+  return local_shards_lost ? latest_cloud_ : latest_local_;
+}
+
+double CheckpointStore::RestoreDuration(double total_params, int data_parallel) const {
+  const double total_bytes = kCheckpointBytesPerParam * total_params;
+  const double shard_bytes = total_bytes / std::max(1, data_parallel);
+  return options_.restore_setup_s + shard_bytes / options_.cloud_read_bps;
+}
+
+}  // namespace varuna

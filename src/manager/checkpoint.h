@@ -1,0 +1,61 @@
+// Continuous checkpointing (§4.5). Model state is checkpointed per cut-point
+// section at mini-batch boundaries; data-parallel replicas shard the writes.
+// Checkpoints land on local SSD first (briefly blocking training) and upload
+// to cloud storage in the background; after a preemption the job resumes from
+// the latest *cloud-complete* checkpoint, possibly with a different pipeline
+// depth (per-section granularity is what makes re-mapping possible).
+#ifndef SRC_MANAGER_CHECKPOINT_H_
+#define SRC_MANAGER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace varuna {
+
+struct CheckpointOptions {
+  double ssd_write_bps = 1.0e9;     // Local NVMe.
+  double cloud_upload_bps = 250e6;  // Background blob upload per VM.
+  // Fixed cost to restart processes, rebuild process groups and load state.
+  double restore_setup_s = 45.0;
+  double cloud_read_bps = 500e6;
+};
+
+// Bytes checkpointed per parameter: fp32 master + Adam m/v + fp16 weights.
+constexpr double kCheckpointBytesPerParam = 14.0;
+
+class CheckpointStore {
+ public:
+  CheckpointStore(SimEngine* engine, CheckpointOptions options)
+      : engine_(engine), options_(options) {}
+
+  // Begins a checkpoint of `total_params` parameters at `minibatch_id`,
+  // sharded across `data_parallel` replicas. Returns the foreground stall
+  // (local SSD write of the largest shard); the cloud upload completes later
+  // and is tracked internally.
+  double BeginCheckpoint(int64_t minibatch_id, double total_params, int data_parallel);
+
+  // Latest mini-batch whose checkpoint has fully reached cloud storage
+  // (-1 if none). Local-only checkpoints are usable too unless a VM holding a
+  // shard was lost; the caller tells us via `local_shards_lost`.
+  int64_t LatestRestorable(bool local_shards_lost) const;
+
+  // Time to restore the given checkpoint onto a new configuration.
+  double RestoreDuration(double total_params, int data_parallel) const;
+
+  int64_t latest_local() const { return latest_local_; }
+  int64_t latest_cloud() const { return latest_cloud_; }
+  int checkpoints_written() const { return checkpoints_written_; }
+
+ private:
+  SimEngine* engine_;
+  CheckpointOptions options_;
+  int64_t latest_local_ = -1;
+  int64_t latest_cloud_ = -1;
+  int checkpoints_written_ = 0;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_MANAGER_CHECKPOINT_H_

@@ -1,0 +1,352 @@
+#include "src/manager/elastic_trainer.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+#include "src/pipeline/stage_timing.h"
+
+namespace varuna {
+
+ElasticTrainer::ElasticTrainer(SimEngine* engine, Cluster* cluster, SpotMarket* market,
+                               int market_pool, const VmType& vm_type,
+                               const TransformerSpec& spec, TrainerOptions options)
+    : engine_(engine),
+      cluster_(cluster),
+      market_(market),
+      market_pool_(market_pool),
+      vm_type_(vm_type),
+      spec_(spec),
+      options_(options),
+      rng_(options.seed),
+      graph_(BuildTransformerOpGraph(spec)),
+      sections_(IdentifyCutPoints(graph_, spec.num_layers).value()),
+      checkpoints_(engine, options.checkpoint) {
+  const TraceReport trace = TraceCrossPartitionState(graph_, sections_, TraceOptions());
+  shared_sync_bytes_ = trace.TotalSyncBytes();
+  if (options_.budget.gpu_memory_bytes <= 0.0) {
+    options_.budget.gpu_memory_bytes = vm_type.gpu.memory_bytes;
+  }
+}
+
+void ElasticTrainer::Start() {
+  market_->set_grant_handler(
+      [this](SpotMarket::MarketVmId id, const VmType& type) { OnVmGranted(id, type); });
+  market_->set_preempt_handler([this](SpotMarket::MarketVmId id) { OnVmPreempted(id); });
+  market_->SetDemand(market_pool_, options_.demand_vms);
+  stall_started_ = engine_->now();
+  engine_->Schedule(options_.provision_check_interval_s, [this] { ProvisionTick(); });
+}
+
+int ElasticTrainer::AvailableGpus() const {
+  int count = 0;
+  for (const GpuId gpu : cluster_->ActiveGpus()) {
+    if (std::find(blacklist_.begin(), blacklist_.end(), gpu) == blacklist_.end()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void ElasticTrainer::OnVmGranted(SpotMarket::MarketVmId id, const VmType& type) {
+  market_to_vm_[id] = cluster_->AddVm(type);
+  if (!running_) {
+    TryBootstrap();
+  }
+}
+
+void ElasticTrainer::OnVmPreempted(SpotMarket::MarketVmId id) {
+  const auto it = market_to_vm_.find(id);
+  if (it == market_to_vm_.end()) {
+    return;
+  }
+  const VmId vm = it->second;
+  market_to_vm_.erase(it);
+  cluster_->Preempt(vm);
+
+  if (!running_ || !placement_.has_value()) {
+    return;
+  }
+  // Did the preempted VM host part of the job? The manager notices via the
+  // missing heartbeat (one timeout interval later), which naturally coalesces
+  // a burst of evictions into a single restore + morph.
+  for (const GpuId gpu : placement_->AllGpus()) {
+    if (cluster_->VmOfGpu(gpu) == vm) {
+      ++stats_.preemptions_hit;
+      running_ = false;
+      minibatch_in_flight_ = false;
+      ++epoch_;
+      if (stall_started_ < 0.0) {
+        stall_started_ = engine_->now();
+      }
+      if (!preemption_morph_pending_) {
+        preemption_morph_pending_ = true;
+        engine_->Schedule(30.0, [this] { DeferredPreemptionMorph(); });
+      }
+      return;
+    }
+  }
+}
+
+void ElasticTrainer::DeferredPreemptionMorph() {
+  preemption_morph_pending_ = false;
+  if (running_) {
+    return;  // Something else already reconfigured.
+  }
+  // Progress after the last restorable checkpoint is lost (local shards died
+  // with the evicted VMs).
+  const int64_t restorable = checkpoints_.LatestRestorable(/*local_shards_lost=*/true);
+  const int64_t lost =
+      std::max<int64_t>(0, stats_.minibatches_done - std::max<int64_t>(restorable, 0));
+  stats_.minibatches_done -= lost;
+  stats_.examples_processed -= static_cast<double>(lost) * options_.total_batch;
+  Reconfigure("morph", /*lost_state=*/true);
+}
+
+void ElasticTrainer::TryBootstrap() {
+  if (calibration_.has_value()) {
+    Reconfigure("configure", /*lost_state=*/false);
+    return;
+  }
+  if (cluster_->NumActiveGpus() < 4) {
+    return;  // Wait for enough capacity to calibrate.
+  }
+  Rng calibration_rng = rng_.Fork();
+  Result<Calibration> calibration =
+      Calibrate(sections_, *cluster_, options_.calibration, &calibration_rng);
+  if (!calibration.ok()) {
+    return;
+  }
+  calibration_ = std::move(calibration).value();
+  search_ = std::make_unique<ConfigSearch>(&spec_, &sections_, &calibration_.value());
+  Reconfigure("configure", /*lost_state=*/false);
+}
+
+void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state) {
+  if (!search_) {
+    TryBootstrap();
+    return;
+  }
+  SearchConstraints constraints;
+  constraints.total_batch = options_.total_batch;
+  constraints.budget = options_.budget;
+  constraints.gpus_per_node = vm_type_.node.num_gpus;
+  constraints.shared_sync_bytes = shared_sync_bytes_;
+  constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer;
+
+  const Result<JobConfig> best = search_->Best(AvailableGpus(), constraints);
+  if (!best.ok()) {
+    // Not enough capacity for any configuration: stay stalled; ProvisionTick
+    // and future grants will retry.
+    running_ = false;
+    return;
+  }
+  Result<Placement> placement =
+      PlaceJob(*cluster_, best.value().pipeline_depth, best.value().data_parallel, blacklist_);
+  if (!placement.ok()) {
+    running_ = false;
+    return;
+  }
+
+  ++epoch_;
+  last_growth_check_gpus_ = AvailableGpus();
+  config_ = best.value();
+  placement_ = std::move(placement).value();
+  partition_ = PartitionModel(sections_, config_->pipeline_depth).value();
+  cached_minibatch_s_ = 0.0;  // Force re-measurement.
+  cached_slow_factors_.clear();
+
+  double restore_delay = 0.0;
+  if (lost_state || stats_.minibatches_done > 0) {
+    // Planned morphs checkpoint first, then every morph restores state.
+    restore_delay =
+        checkpoints_.RestoreDuration(spec_.TotalParams(), config_->data_parallel);
+  }
+  if (stall_started_ >= 0.0) {
+    stats_.stalled_s += engine_->now() - stall_started_;
+    stall_started_ = -1.0;
+  }
+  stats_.stalled_s += restore_delay;
+  ++stats_.morphs;
+  running_ = true;
+  RecordEvent(event_kind);
+  ScheduleNextMinibatch(restore_delay);
+}
+
+double ElasticTrainer::MeasuredMinibatchSeconds() {
+  std::vector<double> slow_factors;
+  for (const GpuId gpu : placement_->AllGpus()) {
+    slow_factors.push_back(cluster_->SlowFactor(gpu));
+  }
+  if (cached_minibatch_s_ > 0.0 && slow_factors == cached_slow_factors_) {
+    return cached_minibatch_s_;
+  }
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, config_->pipeline_depth,
+                                             config_->num_microbatches);
+  const std::vector<StageTiming> timings = ComputeStageTimings(
+      sections_, partition_.value(), vm_type_.gpu, config_->microbatch_size);
+  ExecutorOptions exec_options;
+  exec_options.shared_state_sync_bytes = shared_sync_bytes_;
+  exec_options.cpu_offload_optimizer = options_.cpu_offload_optimizer;
+  if (options_.cpu_offload_optimizer) {
+    exec_options.cpu_offload_bytes_per_stage =
+        12.0 * spec_.TotalParams() / config_->pipeline_depth;
+  }
+  PipelineExecutor executor(cluster_, &rng_);
+  const MinibatchResult result = executor.Run(schedule, placement_.value(), timings,
+                                              config_->microbatch_size, exec_options);
+  cached_minibatch_s_ = result.total_time_s;
+  cached_slow_factors_ = std::move(slow_factors);
+  return cached_minibatch_s_;
+}
+
+void ElasticTrainer::ScheduleNextMinibatch(double extra_delay) {
+  if (!running_ || minibatch_in_flight_) {
+    return;
+  }
+  double duration = MeasuredMinibatchSeconds();
+  if (options_.minibatch_noise_sigma > 0.0) {
+    duration = rng_.LogNormalMedian(duration, options_.minibatch_noise_sigma);
+  }
+  bool checkpointing = false;
+  if (stats_.minibatches_done - last_checkpointed_minibatch_ >=
+      options_.checkpoint_every_minibatches) {
+    duration += checkpoints_.BeginCheckpoint(stats_.minibatches_done, spec_.TotalParams(),
+                                             config_->data_parallel);
+    last_checkpointed_minibatch_ = stats_.minibatches_done;
+    ++stats_.checkpoints;
+    checkpointing = true;
+  }
+  minibatch_in_flight_ = true;
+  RecordSample(config_->ActualBatch() / duration, checkpointing);
+  engine_->Schedule(extra_delay + duration,
+                    [this, epoch = epoch_] { OnMinibatchDone(epoch); });
+}
+
+void ElasticTrainer::OnMinibatchDone(int64_t epoch) {
+  if (epoch != epoch_) {
+    return;  // A reconfiguration superseded this mini-batch while in flight.
+  }
+  minibatch_in_flight_ = false;
+  if (!running_) {
+    return;
+  }
+  ++stats_.minibatches_done;
+  stats_.examples_processed += config_->ActualBatch();
+  ProcessHeartbeats();
+  if (epoch != epoch_ || !running_) {
+    return;  // Heartbeat processing replaced the configuration.
+  }
+  ScheduleNextMinibatch(0.0);
+}
+
+void ElasticTrainer::ProcessHeartbeats() {
+  // Each task reports its per-micro-batch compute time; with identical
+  // stages+replicas, outliers against the median expose fail-stutter VMs.
+  if (!running_ || !placement_.has_value()) {
+    return;
+  }
+  std::vector<double> heartbeat_times;
+  std::vector<GpuId> gpus = placement_->AllGpus();
+  for (const GpuId gpu : gpus) {
+    heartbeat_times.push_back(cluster_->SlowFactor(gpu) *
+                              rng_.LogNormalMedian(1.0, 0.01));
+  }
+  const double median = Percentile(heartbeat_times, 0.5);
+  std::vector<GpuId> stutterers;
+  for (size_t i = 0; i < gpus.size(); ++i) {
+    if (heartbeat_times[i] > options_.stutter_threshold * median) {
+      stutterers.push_back(gpus[i]);
+    }
+  }
+  if (stutterers.empty()) {
+    return;
+  }
+  // Omit the slow VMs' GPUs from future placements and re-place.
+  for (const GpuId gpu : stutterers) {
+    const VmId vm = cluster_->VmOfGpu(gpu);
+    for (const GpuId sibling : cluster_->ActiveGpus()) {
+      if (cluster_->VmOfGpu(sibling) == vm &&
+          std::find(blacklist_.begin(), blacklist_.end(), sibling) == blacklist_.end()) {
+        blacklist_.push_back(sibling);
+      }
+    }
+  }
+  stats_.stutters_detected += static_cast<int>(stutterers.size());
+  running_ = false;
+  minibatch_in_flight_ = false;
+  ++epoch_;
+  stall_started_ = engine_->now();
+  Reconfigure("replace", /*lost_state=*/false);
+}
+
+void ElasticTrainer::ProvisionTick() {
+  engine_->Schedule(options_.provision_check_interval_s, [this] { ProvisionTick(); });
+  // Heal the blacklist: VMs recover from stutter episodes; give them another
+  // chance if they are no longer slow.
+  std::erase_if(blacklist_, [this](GpuId gpu) { return cluster_->SlowFactor(gpu) == 1.0; });
+
+  if (!running_) {
+    TryBootstrap();
+    if (!running_ && search_) {
+      Reconfigure("configure", stats_.minibatches_done > 0);
+    }
+    return;
+  }
+  // Growth: if spare capacity admits a materially better configuration,
+  // checkpoint and morph into it. The sweep only reruns when availability
+  // moved materially since the last evaluation.
+  const int available = AvailableGpus();
+  if (std::abs(available - last_growth_check_gpus_) <
+      std::max(4, last_growth_check_gpus_ / 12)) {
+    return;
+  }
+  last_growth_check_gpus_ = available;
+  SearchConstraints constraints;
+  constraints.total_batch = options_.total_batch;
+  constraints.budget = options_.budget;
+  constraints.gpus_per_node = vm_type_.node.num_gpus;
+  constraints.shared_sync_bytes = shared_sync_bytes_;
+  constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer;
+  const Result<JobConfig> best = search_->Best(AvailableGpus(), constraints);
+  if (!best.ok()) {
+    return;
+  }
+  const double current_rate = config_->ActualBatch() / std::max(1e-9, cached_minibatch_s_);
+  if (best.value().est_examples_per_s >
+          (1.0 + options_.morph_improvement_threshold) * current_rate &&
+      (best.value().pipeline_depth != config_->pipeline_depth ||
+       best.value().data_parallel != config_->data_parallel)) {
+    running_ = false;
+    minibatch_in_flight_ = false;
+    ++epoch_;
+    stall_started_ = engine_->now();
+    Reconfigure("morph", /*lost_state=*/false);
+  }
+}
+
+void ElasticTrainer::RecordSample(double examples_per_s, bool checkpointing) {
+  TimelineSample sample;
+  sample.time_s = engine_->now();
+  sample.examples_per_s = examples_per_s;
+  sample.pipeline_depth = config_.has_value() ? config_->pipeline_depth : 0;
+  sample.data_parallel = config_.has_value() ? config_->data_parallel : 0;
+  sample.gpus_in_use = config_.has_value() ? config_->gpus_used : 0;
+  sample.examples_per_s_per_gpu =
+      sample.gpus_in_use > 0 ? examples_per_s / sample.gpus_in_use : 0.0;
+  sample.gpus_available = cluster_->NumActiveGpus();
+  sample.checkpointing = checkpointing;
+  stats_.samples.push_back(sample);
+}
+
+void ElasticTrainer::RecordEvent(const std::string& kind) {
+  TimelineEvent event;
+  event.time_s = engine_->now();
+  event.kind = kind;
+  event.pipeline_depth = config_.has_value() ? config_->pipeline_depth : 0;
+  event.data_parallel = config_.has_value() ? config_->data_parallel : 0;
+  event.gpus_available = cluster_->NumActiveGpus();
+  stats_.events.push_back(event);
+}
+
+}  // namespace varuna

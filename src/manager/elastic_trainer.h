@@ -1,0 +1,165 @@
+// The Varuna manager (§4.6) driving an elastic training session on the
+// simulated cluster: it wires the spot market to the cluster, calibrates once
+// at startup, picks configurations with the O(G) search, runs mini-batches on
+// the DES testbed, checkpoints continuously, watches heartbeats for
+// fail-stutter outliers, morphs on preemptions and on growth opportunities,
+// and records the Figure-8 timeline.
+#ifndef SRC_MANAGER_ELASTIC_TRAINER_H_
+#define SRC_MANAGER_ELASTIC_TRAINER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/placement.h"
+#include "src/cluster/spot_market.h"
+#include "src/common/rng.h"
+#include "src/manager/checkpoint.h"
+#include "src/model/cutpoints.h"
+#include "src/model/op_graph.h"
+#include "src/model/tracer.h"
+#include "src/model/transformer.h"
+#include "src/morph/calibration.h"
+#include "src/morph/config_search.h"
+#include "src/pipeline/executor.h"
+#include "src/sim/engine.h"
+
+namespace varuna {
+
+struct TrainerOptions {
+  double total_batch = 8192.0;
+  int demand_vms = 120;  // Standing spot demand the manager maintains.
+  // Heartbeats carry per-micro-batch compute times and are evaluated at every
+  // mini-batch boundary. A VM whose compute heartbeat exceeds
+  // median * threshold is blacklisted.
+  double stutter_threshold = 1.12;
+  int checkpoint_every_minibatches = 10;
+  // How often the manager looks for growth / better configurations.
+  double provision_check_interval_s = 900.0;
+  // Planned morphs require at least this relative throughput gain.
+  double morph_improvement_threshold = 0.10;
+  CalibrationOptions calibration;
+  CheckpointOptions checkpoint;
+  MemoryBudget budget;
+  bool cpu_offload_optimizer = false;
+  // Mini-batch-to-mini-batch duration noise when replaying the cached
+  // executor measurement.
+  double minibatch_noise_sigma = 0.02;
+  uint64_t seed = 1;
+};
+
+struct TimelineEvent {
+  double time_s = 0.0;
+  std::string kind;  // "configure", "morph", "replace", "preempt-stall", "stutter".
+  int pipeline_depth = 0;
+  int data_parallel = 0;
+  int gpus_available = 0;
+};
+
+struct TimelineSample {
+  double time_s = 0.0;
+  double examples_per_s = 0.0;
+  double examples_per_s_per_gpu = 0.0;
+  int pipeline_depth = 0;
+  int data_parallel = 0;
+  int gpus_in_use = 0;
+  int gpus_available = 0;
+  bool checkpointing = false;
+};
+
+struct SessionStats {
+  double examples_processed = 0.0;
+  int64_t minibatches_done = 0;
+  int morphs = 0;
+  int preemptions_hit = 0;  // Preemptions that interrupted the job.
+  int stutters_detected = 0;
+  int checkpoints = 0;
+  double stalled_s = 0.0;  // Time spent restoring / waiting for capacity.
+  std::vector<TimelineEvent> events;
+  std::vector<TimelineSample> samples;
+};
+
+class ElasticTrainer {
+ public:
+  ElasticTrainer(SimEngine* engine, Cluster* cluster, SpotMarket* market, int market_pool,
+                 const VmType& vm_type, const TransformerSpec& spec, TrainerOptions options);
+
+  // Registers market handlers and kicks off the session. Call once, then run
+  // the engine (RunUntil for a bounded experiment).
+  void Start();
+
+  const SessionStats& stats() const { return stats_; }
+  bool job_running() const { return running_; }
+  const std::optional<JobConfig>& current_config() const { return config_; }
+
+ private:
+  void OnVmGranted(SpotMarket::MarketVmId id, const VmType& type);
+  void OnVmPreempted(SpotMarket::MarketVmId id);
+
+  // Calibrates once when enough GPUs exist, then configures.
+  void TryBootstrap();
+  // Coalesces a burst of preemptions into one restore+morph (the manager
+  // notices missing heartbeats, which batches naturally).
+  void DeferredPreemptionMorph();
+  // Picks the best config for current capacity and (re)starts the job.
+  // `lost_state` true when restoring from a checkpoint after a preemption.
+  void Reconfigure(const std::string& event_kind, bool lost_state);
+  void ScheduleNextMinibatch(double extra_delay);
+  void OnMinibatchDone(int64_t epoch);
+  void ProcessHeartbeats();
+  void ProvisionTick();
+
+  // Measured mini-batch duration for the current placement (re-measured when
+  // the placement or any member's slow factor changes).
+  double MeasuredMinibatchSeconds();
+
+  int AvailableGpus() const;
+  void RecordSample(double examples_per_s, bool checkpointing);
+  void RecordEvent(const std::string& kind);
+
+  SimEngine* engine_;
+  Cluster* cluster_;
+  SpotMarket* market_;
+  int market_pool_;
+  VmType vm_type_;
+  TransformerSpec spec_;
+  TrainerOptions options_;
+  Rng rng_;
+
+  OpGraph graph_;
+  ModelSections sections_;
+  double shared_sync_bytes_ = 0.0;
+  std::optional<Calibration> calibration_;
+  std::unique_ptr<ConfigSearch> search_;
+  CheckpointStore checkpoints_;
+
+  std::map<SpotMarket::MarketVmId, VmId> market_to_vm_;
+  std::vector<GpuId> blacklist_;
+
+  bool running_ = false;
+  bool minibatch_in_flight_ = false;
+  bool preemption_morph_pending_ = false;
+  // Bumped on every reconfiguration/stop; in-flight mini-batch completions
+  // from an older epoch are ignored (the preempted run's events still fire).
+  int64_t epoch_ = 0;
+  std::optional<JobConfig> config_;
+  std::optional<Placement> placement_;
+  std::optional<Partition> partition_;
+  double cached_minibatch_s_ = 0.0;
+  std::vector<double> cached_slow_factors_;
+  int64_t last_checkpointed_minibatch_ = -1;
+  // Capacity at the last growth evaluation; the O(G) sweep only reruns when
+  // availability moved materially (morphs are not free).
+  int last_growth_check_gpus_ = 0;
+  double stall_started_ = -1.0;
+
+  SessionStats stats_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_MANAGER_ELASTIC_TRAINER_H_

@@ -1,0 +1,125 @@
+#include "src/model/op_graph.h"
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+double OpGraph::TotalFwdFlops() const { return RangeFwdFlops(0, size()); }
+
+double OpGraph::TotalParams() const { return RangeParams(0, size()); }
+
+double OpGraph::RangeFwdFlops(int begin, int end) const {
+  VARUNA_CHECK(begin >= 0 && begin <= end && end <= size());
+  double total = 0.0;
+  for (int i = begin; i < end; ++i) {
+    total += ops_[static_cast<size_t>(i)].fwd_flops;
+  }
+  return total;
+}
+
+double OpGraph::RangeParams(int begin, int end) const {
+  VARUNA_CHECK(begin >= 0 && begin <= end && end <= size());
+  double total = 0.0;
+  for (int i = begin; i < end; ++i) {
+    total += ops_[static_cast<size_t>(i)].param_count;
+  }
+  return total;
+}
+
+OpGraph BuildTransformerOpGraph(const TransformerSpec& spec) {
+  OpGraph graph;
+  const double h = spec.hidden;
+  const double s = spec.seq_len;
+  constexpr ParamId kTokenEmbeddingParam = 0;
+  ParamId next_param = 1;
+
+  {
+    OpNode embedding;
+    embedding.name = "embedding";
+    embedding.fwd_flops = spec.EmbeddingFwdFlops();
+    embedding.param_count = spec.EmbeddingParams();
+    embedding.out_activation_bytes = 2.0 * s * h;
+    embedding.param_ids = {kTokenEmbeddingParam};
+    graph.Add(embedding);
+  }
+
+  for (int layer = 0; layer < spec.num_layers; ++layer) {
+    // LayerNorm + QKV projection. Output holds Q, K, V: 3 * s * h fp16.
+    OpNode qkv;
+    qkv.name = "block" + std::to_string(layer) + ".qkv";
+    qkv.fwd_flops = 6.0 * s * h * h;
+    qkv.param_count = 3.0 * h * h + 3.0 * h + 2.0 * h;  // QKV + one LayerNorm.
+    qkv.out_activation_bytes = 3.0 * 2.0 * s * h;
+    qkv.param_ids = {next_param++};
+    qkv.layer = layer;
+    graph.Add(qkv);
+
+    // Attention scores + weighted sum. Output: context s * h, but the scores
+    // tensor (s^2 * heads) dominates the live activation.
+    OpNode attention;
+    attention.name = "block" + std::to_string(layer) + ".attn";
+    attention.fwd_flops = 4.0 * s * s * h;
+    attention.out_activation_bytes = 2.0 * s * s * spec.heads / 8.0 + 2.0 * s * h;
+    attention.layer = layer;
+    graph.Add(attention);
+
+    // Attention output projection. Cutting here would have to ship both the
+    // projection output and the residual stream (the add happens after), so
+    // the crossing activation is two tensors — larger than the block boundary.
+    OpNode attn_out;
+    attn_out.name = "block" + std::to_string(layer) + ".attn_out";
+    attn_out.fwd_flops = 2.0 * s * h * h;
+    attn_out.param_count = h * h + h;
+    attn_out.out_activation_bytes = 2.0 * 2.0 * s * h;
+    attn_out.param_ids = {next_param++};
+    attn_out.layer = layer;
+    graph.Add(attn_out);
+
+    // MLP up-projection (h -> 4h). Large intermediate activation.
+    OpNode mlp_in;
+    mlp_in.name = "block" + std::to_string(layer) + ".mlp_in";
+    mlp_in.fwd_flops = 8.0 * s * h * h;
+    mlp_in.param_count = 4.0 * h * h + 4.0 * h + 2.0 * h;  // + second LayerNorm.
+    mlp_in.out_activation_bytes = 4.0 * 2.0 * s * h;
+    mlp_in.param_ids = {next_param++};
+    mlp_in.layer = layer;
+    graph.Add(mlp_in);
+
+    // MLP down-projection (4h -> h). Output is the block boundary: 2 s h bytes,
+    // the smallest activation in the block -> the natural cut-point.
+    OpNode mlp_out;
+    mlp_out.name = "block" + std::to_string(layer) + ".mlp_out";
+    mlp_out.fwd_flops = 8.0 * s * h * h;
+    mlp_out.param_count = 4.0 * h * h + h;
+    mlp_out.out_activation_bytes = 2.0 * s * h;
+    mlp_out.param_ids = {next_param++};
+    mlp_out.layer = layer;
+    graph.Add(mlp_out);
+  }
+
+  {
+    OpNode head;
+    head.name = "lm_head";
+    head.fwd_flops = spec.HeadFwdFlops();
+    // Tied embeddings: the head reuses the token-embedding parameter (§5.2);
+    // untied models own a separate matrix.
+    if (spec.tied_embeddings) {
+      head.param_ids = {kTokenEmbeddingParam};
+    } else {
+      head.param_count = static_cast<double>(spec.vocab) * h;
+      head.param_ids = {next_param++};
+    }
+    head.out_activation_bytes = 2.0 * s * spec.vocab;
+    graph.Add(head);
+
+    OpNode loss;
+    loss.name = "loss";
+    loss.fwd_flops = 5.0 * s * spec.vocab;  // Softmax + NLL.
+    loss.out_activation_bytes = 4.0;        // Scalar loss.
+    graph.Add(loss);
+  }
+
+  return graph;
+}
+
+}  // namespace varuna

@@ -1,0 +1,60 @@
+// Profiled operation graph. Varuna's auto-partitioner (§5.1) works on "the
+// model profiled for execution times and activation sizes for each operation";
+// this is the C++ analogue: an ordered op list with per-op FLOPs, parameters
+// and output activation sizes. For transformers the graph is generated from a
+// TransformerSpec, mimicking what the dry-run profiler would observe.
+#ifndef SRC_MODEL_OP_GRAPH_H_
+#define SRC_MODEL_OP_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/transformer.h"
+
+namespace varuna {
+
+using ParamId = int;
+
+struct OpNode {
+  std::string name;
+  // Forward-pass FLOPs per input example. Backward is ~2x, recompute == forward.
+  double fwd_flops = 0.0;
+  // Parameter elements owned by this op.
+  double param_count = 0.0;
+  // fp16 bytes of the op's output activation per input example.
+  double out_activation_bytes = 0.0;
+  // Parameter identity, for shared-parameter detection (tied embeddings reuse
+  // the ParamId of the token embedding at the LM head).
+  std::vector<ParamId> param_ids;
+  // Block index, or -1 for pre/post ops (embedding, head, loss).
+  int layer = -1;
+};
+
+class OpGraph {
+ public:
+  void Add(OpNode op) { ops_.push_back(std::move(op)); }
+
+  int size() const { return static_cast<int>(ops_.size()); }
+  const OpNode& op(int i) const { return ops_[static_cast<size_t>(i)]; }
+  const std::vector<OpNode>& ops() const { return ops_; }
+
+  double TotalFwdFlops() const;
+  double TotalParams() const;
+
+  // Sum of fwd FLOPs of ops [begin, end).
+  double RangeFwdFlops(int begin, int end) const;
+  double RangeParams(int begin, int end) const;
+
+ private:
+  std::vector<OpNode> ops_;
+};
+
+// Builds the op graph a profiling dry-run of the transformer would record:
+// embedding, then per block {qkv, attention, attn-out, mlp-in, mlp-out}, then
+// the (tied) LM head and loss. Intra-block activations are larger than block
+// boundaries, so boundaries are the natural cut-points.
+OpGraph BuildTransformerOpGraph(const TransformerSpec& spec);
+
+}  // namespace varuna
+
+#endif  // SRC_MODEL_OP_GRAPH_H_

@@ -1,0 +1,86 @@
+#include "src/model/tracer.h"
+
+#include <map>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+double TraceReport::TotalSyncBytes() const {
+  double total = 0.0;
+  for (const auto& tensor : shared) {
+    total += tensor.sync_bytes;
+  }
+  return total;
+}
+
+TraceReport TraceCrossPartitionState(const OpGraph& graph, const ModelSections& sections,
+                                     const TraceOptions& options) {
+  const int k = sections.num_sections();
+
+  // Dry run: walk ops in order, track which section each op belongs to, and
+  // record which sections touch each ParamId. param_bytes records the fp32
+  // gradient size to allreduce when the parameter turns out to be shared.
+  std::map<ParamId, std::set<int>> param_sections;
+  std::map<ParamId, double> param_bytes;
+  std::map<ParamId, std::string> param_owner_name;
+  int section = 0;
+  for (int i = 0; i < graph.size(); ++i) {
+    while (section + 1 < k && i >= sections.boundaries[static_cast<size_t>(section) + 1]) {
+      ++section;
+    }
+    const OpNode& op = graph.op(i);
+    for (const ParamId id : op.param_ids) {
+      param_sections[id].insert(section);
+      // The op that declares a nonzero parameter count owns the storage; ops
+      // that reuse the id (tied head) contribute no extra bytes.
+      if (op.param_count > 0.0) {
+        param_bytes[id] += 4.0 * op.param_count;  // fp32 master gradient.
+        param_owner_name[id] = op.name;
+      }
+    }
+  }
+
+  TraceReport report;
+  for (const auto& [id, used_by] : param_sections) {
+    if (used_by.size() <= 1) {
+      continue;
+    }
+    SharedTensor tensor;
+    tensor.name = "tied:" + (param_owner_name.count(id) ? param_owner_name[id]
+                                                        : "param" + std::to_string(id));
+    tensor.sections.assign(used_by.begin(), used_by.end());
+    tensor.sync_bytes = param_bytes.count(id) ? param_bytes[id] : 0.0;
+    tensor.kind = SharedTensor::Kind::kTiedParameter;
+    report.shared.push_back(tensor);
+  }
+
+  std::vector<int> all_sections(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    all_sections[static_cast<size_t>(i)] = i;
+  }
+  if (options.mixed_precision_loss_scaler) {
+    // APEX tracks a per-step overflow flag; with partitions, one stage may
+    // overflow while others do not, so the flag becomes a pipeline-group
+    // allreduce of one scalar (§5.2).
+    SharedTensor tensor;
+    tensor.name = "library:loss_scale_overflow_flag";
+    tensor.sections = all_sections;
+    tensor.sync_bytes = 4.0;
+    tensor.kind = SharedTensor::Kind::kLibraryGlobal;
+    report.shared.push_back(tensor);
+  }
+  if (options.global_norm_optimizer) {
+    // NVLAMB's global norm is a sum of squared gradients across all layers.
+    SharedTensor tensor;
+    tensor.name = "library:global_grad_norm";
+    tensor.sections = all_sections;
+    tensor.sync_bytes = 4.0;
+    tensor.kind = SharedTensor::Kind::kLibraryGlobal;
+    report.shared.push_back(tensor);
+  }
+  return report;
+}
+
+}  // namespace varuna

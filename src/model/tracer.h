@@ -1,0 +1,51 @@
+// Cross-partition dependency tracer (§5.2). During a dry run, every tensor is
+// marked with the cut-point section that created it; any use spanning sections
+// is flagged and must be synchronized (allreduced over the pipeline process
+// group) every mini-batch. This catches:
+//   * tied weights (GPT-2/BERT embedding reused by the LM head),
+//   * library state hidden from the model author: APEX-style loss-scale
+//     overflow flags, NVLAMB-style global gradient norms.
+#ifndef SRC_MODEL_TRACER_H_
+#define SRC_MODEL_TRACER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/cutpoints.h"
+#include "src/model/op_graph.h"
+
+namespace varuna {
+
+struct TraceOptions {
+  // Mixed-precision loss scaling (APEX): each partition produces an overflow
+  // flag that the scaler combines globally.
+  bool mixed_precision_loss_scaler = true;
+  // NVLAMB-style optimizer using a global gradient norm across all layers.
+  bool global_norm_optimizer = false;
+};
+
+// One tensor that crosses partition boundaries and must be synchronized.
+struct SharedTensor {
+  std::string name;
+  // Sections whose processes must participate in the sync. For tied weights
+  // these are the owning sections; library globals involve every section.
+  std::vector<int> sections;
+  // Bytes allreduced per mini-batch (gradient for weights, scalars for flags).
+  double sync_bytes = 0.0;
+  enum class Kind { kTiedParameter, kLibraryGlobal } kind = Kind::kTiedParameter;
+};
+
+struct TraceReport {
+  std::vector<SharedTensor> shared;
+  // Total bytes allreduced over the pipeline group per mini-batch.
+  double TotalSyncBytes() const;
+};
+
+// Dry-runs the graph against the section assignment and reports every
+// cross-partition dependency.
+TraceReport TraceCrossPartitionState(const OpGraph& graph, const ModelSections& sections,
+                                     const TraceOptions& options = {});
+
+}  // namespace varuna
+
+#endif  // SRC_MODEL_TRACER_H_

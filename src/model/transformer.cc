@@ -1,0 +1,88 @@
+#include "src/model/transformer.h"
+
+namespace varuna {
+
+double TransformerSpec::LayerParams() const {
+  const double h = hidden;
+  return 12.0 * h * h + 13.0 * h;
+}
+
+double TransformerSpec::EmbeddingParams() const {
+  return static_cast<double>(vocab) * hidden + static_cast<double>(seq_len) * hidden;
+}
+
+double TransformerSpec::TotalParams() const {
+  double params = num_layers * LayerParams() + EmbeddingParams();
+  if (!tied_embeddings) {
+    params += static_cast<double>(vocab) * hidden;  // Separate LM head.
+  }
+  return params;
+}
+
+double TransformerSpec::LayerFwdFlops() const {
+  const double h = hidden;
+  const double s = seq_len;
+  return 24.0 * s * h * h + 4.0 * s * s * h;
+}
+
+double TransformerSpec::EmbeddingFwdFlops() const {
+  // Table lookup + positional add: ~2 FLOPs per element.
+  return 2.0 * seq_len * static_cast<double>(hidden);
+}
+
+double TransformerSpec::HeadFwdFlops() const {
+  // Logits matmul: s x h times h x vocab.
+  return 2.0 * seq_len * static_cast<double>(hidden) * vocab;
+}
+
+double TransformerSpec::TotalFwdFlops() const {
+  return num_layers * LayerFwdFlops() + EmbeddingFwdFlops() + HeadFwdFlops();
+}
+
+double TransformerSpec::BoundaryActivationBytes() const {
+  return 2.0 * seq_len * static_cast<double>(hidden);
+}
+
+double TransformerSpec::IntraLayerAllReduceBytes() const {
+  return 2.0 * 2.0 * seq_len * static_cast<double>(hidden);
+}
+
+namespace {
+
+TransformerSpec Make(std::string name, int layers, int hidden, int seq, int heads) {
+  TransformerSpec spec;
+  spec.name = std::move(name);
+  spec.num_layers = layers;
+  spec.hidden = hidden;
+  spec.seq_len = seq;
+  spec.heads = heads;
+  return spec;
+}
+
+}  // namespace
+
+TransformerSpec BertLarge() {
+  TransformerSpec spec = Make("BERT-large-340M", 24, 1024, 512, 16);
+  spec.vocab = 30522;
+  return spec;
+}
+
+TransformerSpec Bert72() {
+  // Phase-1 BERT pre-training sequence length (128): the GPipe comparison's
+  // absolute throughput in the paper implies this setting.
+  TransformerSpec spec = Make("BERT-72", 72, 1024, 128, 16);
+  spec.vocab = 30522;
+  return spec;
+}
+
+TransformerSpec Gpt2Medium() { return Make("GPT-2-355M", 24, 1024, 1024, 16); }
+
+TransformerSpec Gpt2_2_5B() { return Make("GPT-2-2.5B", 54, 1920, 1024, 20); }
+
+TransformerSpec Gpt2_8_3B() { return Make("GPT-2-8.3B", 72, 3072, 1024, 32); }
+
+TransformerSpec Gpt2_20B() { return Make("GPT-2-20B", 96, 4160, 1024, 32); }
+
+TransformerSpec Gpt2_200B() { return Make("GPT-2-200B", 100, 12960, 1024, 96); }
+
+}  // namespace varuna

@@ -1,0 +1,57 @@
+// Analytic transformer model descriptions for every workload in the paper's
+// evaluation (§7): BERT-large, BERT-72, and GPT-2 at 355M / 2.5B / 8.3B /
+// 20B / 200B parameters. Parameter counts, FLOPs and activation sizes follow
+// the standard decoder-block arithmetic; the paper's own figures (3.75 MB
+// boundary activation per example for GPT-2 2.5B, 2.4 GB/example/GPU
+// intra-layer transfer) are reproduced by these formulas and locked in tests.
+#ifndef SRC_MODEL_TRANSFORMER_H_
+#define SRC_MODEL_TRANSFORMER_H_
+
+#include <string>
+
+namespace varuna {
+
+struct TransformerSpec {
+  std::string name;
+  int num_layers = 0;
+  int hidden = 0;
+  int seq_len = 0;
+  int vocab = 50257;
+  int heads = 16;
+  // GPT-2/BERT tie the input embedding and the LM head (§5.2).
+  bool tied_embeddings = true;
+
+  // Parameters per transformer block: 12 h^2 + 13 h
+  // (QKV 3h^2+3h, attn-out h^2+h, MLP 8h^2+5h, 2 LayerNorms 4h).
+  double LayerParams() const;
+  double EmbeddingParams() const;  // Token (vocab*h) + positional (seq*h).
+  double TotalParams() const;
+
+  // Forward FLOPs per example per block: 24 s h^2 + 4 s^2 h.
+  double LayerFwdFlops() const;
+  // Embedding lookup + LM head matmul, per example.
+  double EmbeddingFwdFlops() const;
+  double HeadFwdFlops() const;
+  double TotalFwdFlops() const;  // Per example, whole model.
+
+  // fp16 activation crossing a block boundary, per example: 2 s h bytes.
+  // (For GPT-2 2.5B this is 3.75 MiB, as quoted in §3.1.)
+  double BoundaryActivationBytes() const;
+
+  // Bytes a Megatron-style intra-layer partition moves per allreduce per
+  // example: 2 * s * h fp16 values = 4 s h bytes (§3.1, Observation 1).
+  double IntraLayerAllReduceBytes() const;
+};
+
+// Factory functions for the paper's workloads.
+TransformerSpec BertLarge();   // 340M, 24 layers, h=1024, s=512.
+TransformerSpec Bert72();      // 72 layers, h=1024, s=512 (GPipe comparison, §7.1.2).
+TransformerSpec Gpt2Medium();  // 355M, 24 layers, h=1024, s=1024 (Fig. 10).
+TransformerSpec Gpt2_2_5B();   // 54 layers, h=1920, s=1024.
+TransformerSpec Gpt2_8_3B();   // 72 layers, h=3072, s=1024.
+TransformerSpec Gpt2_20B();    // 96 layers, h=4160, s=1024.
+TransformerSpec Gpt2_200B();   // 100 layers, h=12960, s=1024.
+
+}  // namespace varuna
+
+#endif  // SRC_MODEL_TRANSFORMER_H_

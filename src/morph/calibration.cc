@@ -1,0 +1,208 @@
+#include "src/morph/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace varuna {
+namespace {
+
+// Piecewise-linear lookup over the profiled (m, seconds) points; linear
+// extrapolation from the outermost segment.
+double Interpolate(const std::map<int, double>& points, int m) {
+  VARUNA_CHECK(!points.empty());
+  if (points.size() == 1) {
+    // Single point: assume proportionality in m.
+    return points.begin()->second * m / points.begin()->first;
+  }
+  auto upper = points.lower_bound(m);
+  if (upper == points.end()) {
+    --upper;
+  }
+  if (upper == points.begin()) {
+    ++upper;
+  }
+  auto lower = std::prev(upper);
+  const double x0 = lower->first;
+  const double y0 = lower->second;
+  const double x1 = upper->first;
+  const double y1 = upper->second;
+  return y0 + (y1 - y0) * (m - x0) / (x1 - x0);
+}
+
+}  // namespace
+
+double Calibration::ForwardTime(int section, int m) const {
+  return Interpolate(sections[static_cast<size_t>(section)].forward_s, m);
+}
+
+double Calibration::BackwardTime(int section, int m) const {
+  return Interpolate(sections[static_cast<size_t>(section)].backward_s, m);
+}
+
+double Calibration::SendTime(int section, int m, bool cross_node) const {
+  const SectionCalibration& calib = sections[static_cast<size_t>(section)];
+  return Interpolate(cross_node ? calib.send_inter_s : calib.send_intra_s, m);
+}
+
+Result<Calibration> Calibrate(const ModelSections& sections, const Cluster& cluster,
+                              const CalibrationOptions& options, Rng* rng) {
+  const std::vector<GpuId> pool = cluster.ActiveGpus();
+  if (pool.size() < 4) {
+    return Result<Calibration>::Error("calibration needs at least 4 active GPUs");
+  }
+  // Pick a cross-node GPU pair for network micro-benchmarks.
+  GpuId local = pool[0];
+  GpuId remote = -1;
+  GpuId neighbor = -1;  // Same node as `local`, if the node has several GPUs.
+  for (const GpuId gpu : pool) {
+    if (gpu == local) {
+      continue;
+    }
+    if (cluster.topology().SameNode(local, gpu)) {
+      neighbor = gpu;
+    } else if (remote < 0) {
+      remote = gpu;
+    }
+  }
+  if (remote < 0) {
+    return Result<Calibration>::Error("calibration needs GPUs on at least two nodes");
+  }
+  const int gpus_per_node = cluster.topology().Node(cluster.topology().NodeOf(local)).num_gpus;
+  const GpuSpec& gpu = cluster.Gpu(local);
+
+  Calibration calibration;
+  int64_t stall_count = 0;
+  int64_t transfer_count = 0;
+  double stall_excess_sum = 0.0;
+  double stall_threshold_sum = 0.0;
+  calibration.microbatch_sizes = options.microbatch_sizes;
+  std::sort(calibration.microbatch_sizes.begin(), calibration.microbatch_sizes.end());
+  calibration.sections.resize(static_cast<size_t>(sections.num_sections()));
+
+  // --- F_i(m), B_i(m): run a few mocked micro-batches per section (random
+  // inputs standing in for the previous stage, §4.3) and average. These are
+  // measurements of the *testbed's* noisy execution, not formula lookups.
+  for (int i = 0; i < sections.num_sections(); ++i) {
+    SectionCalibration& section = calibration.sections[static_cast<size_t>(i)];
+    section.params = sections.params[static_cast<size_t>(i)];
+    for (const int m : calibration.microbatch_sizes) {
+      RunningStats fwd;
+      RunningStats bwd;
+      for (int run = 0; run < options.samples; ++run) {
+        const double fwd_base = gpu.ComputeTime(sections.fwd_flops[static_cast<size_t>(i)] * m);
+        const double bwd_base =
+            gpu.ComputeTime(2.0 * sections.fwd_flops[static_cast<size_t>(i)] * m);
+        fwd.Add(options.compute_noise_sigma > 0.0
+                    ? rng->LogNormalMedian(fwd_base, options.compute_noise_sigma)
+                    : fwd_base);
+        bwd.Add(options.compute_noise_sigma > 0.0
+                    ? rng->LogNormalMedian(bwd_base, options.compute_noise_sigma)
+                    : bwd_base);
+      }
+      section.forward_s[m] = fwd.mean();
+      section.backward_s[m] = bwd.mean();
+    }
+
+    // --- Act/Grad transfer latencies for the section's boundary activation,
+    // measured with the node's k flows in flight (k = GPUs per node). The
+    // sample set is split into a typical component (stored per m) and a tail
+    // (stall) component pooled across sections.
+    const double act_bytes = sections.boundary_activation_bytes[static_cast<size_t>(i)];
+    for (const int m : calibration.microbatch_sizes) {
+      std::vector<double> samples;
+      samples.reserve(static_cast<size_t>(options.network_samples));
+      for (int run = 0; run < options.network_samples; ++run) {
+        samples.push_back(cluster.network().SampleTransferTime(local, remote, act_bytes * m,
+                                                               gpus_per_node, rng));
+      }
+      const double typical = Percentile(samples, 0.5);
+      const double stall_threshold = 1.5 * typical + 0.05;
+      RunningStats body;
+      for (const double sample : samples) {
+        if (sample > stall_threshold) {
+          ++stall_count;
+          stall_excess_sum += sample - typical;
+          stall_threshold_sum += stall_threshold - typical;
+        } else {
+          body.Add(sample);
+        }
+        ++transfer_count;
+      }
+      calibration.sections[static_cast<size_t>(i)].send_inter_s[m] = body.mean();
+      RunningStats intra;
+      if (neighbor >= 0) {
+        for (int run = 0; run < options.samples; ++run) {
+          intra.Add(cluster.network().SampleTransferTime(local, neighbor, act_bytes * m,
+                                                         gpus_per_node, rng));
+        }
+      } else {
+        intra.Add(body.mean());  // 1-GPU VMs: every hop is cross-node anyway.
+      }
+      calibration.sections[static_cast<size_t>(i)].send_intra_s[m] = intra.mean();
+    }
+  }
+  if (transfer_count > 0 && stall_count > 0) {
+    calibration.send_stall_probability =
+        static_cast<double>(stall_count) / static_cast<double>(transfer_count);
+    calibration.send_stall_mean_s = stall_excess_sum / static_cast<double>(stall_count);
+    calibration.send_stall_offset_s = stall_threshold_sum / static_cast<double>(stall_count);
+    calibration.send_stall_scale_s =
+        std::max(1e-6, calibration.send_stall_mean_s - calibration.send_stall_offset_s);
+  }
+
+  // --- AR_i(D): profile a gradient-sized allreduce at two ring sizes with k
+  // rings in flight, then fit the two-parameter ring model so any D can be
+  // predicted without further profiling (scale invariance).
+  std::vector<GpuId> cross_node_pool;
+  NodeId last_node = -1;
+  for (const GpuId g : pool) {
+    const NodeId node = cluster.topology().NodeOf(g);
+    if (node != last_node) {
+      cross_node_pool.push_back(g);
+      last_node = node;
+    }
+  }
+  if (cross_node_pool.size() < 2) {
+    return Result<Calibration>::Error("calibration needs GPUs on at least two nodes");
+  }
+  const double probe_bytes = 2.0 * calibration.sections[1 % sections.num_sections()].params;
+  auto measure_ring = [&](int size) {
+    std::vector<GpuId> ring;
+    for (int i = 0; i < size; ++i) {
+      ring.push_back(cross_node_pool[static_cast<size_t>(i) % cross_node_pool.size()]);
+    }
+    RunningStats stats;
+    for (int run = 0; run < options.samples; ++run) {
+      stats.Add(cluster.network().SampleAllReduceTime(ring, probe_bytes, gpus_per_node, rng));
+    }
+    return stats.mean();
+  };
+  // The tail term reuses the per-message stall statistics profiled above —
+  // a ring step stalls when any of its D messages does.
+  calibration.allreduce.stall_probability = calibration.send_stall_probability;
+  calibration.allreduce.stall_mean_s = calibration.send_stall_mean_s;
+  const int d1 = 2;
+  const int d2 = std::min<int>(4, static_cast<int>(cross_node_pool.size()));
+  const double ar1 = measure_ring(d1);
+  if (d2 > d1) {
+    const double ar2 = measure_ring(d2);
+    // Solve AR/(2(D-1)) = S/(D*bw) + lat0 + tail(D) for (bw, lat0).
+    const double lhs1 = ar1 / (2.0 * (d1 - 1)) - calibration.allreduce.StepTail(d1);
+    const double lhs2 = ar2 / (2.0 * (d2 - 1)) - calibration.allreduce.StepTail(d2);
+    const double inv_bw =
+        (lhs1 - lhs2) / (probe_bytes * (1.0 / d1 - 1.0 / d2));
+    calibration.allreduce.bandwidth_bps = inv_bw > 0.0 ? 1.0 / inv_bw : 1e12;
+    calibration.allreduce.step_latency_s =
+        std::max(0.0, lhs1 - probe_bytes / (d1 * calibration.allreduce.bandwidth_bps));
+  } else {
+    calibration.allreduce.bandwidth_bps = probe_bytes / std::max(ar1 / 2.0, 1e-9);
+    calibration.allreduce.step_latency_s = 0.0;
+  }
+
+  return calibration;
+}
+
+}  // namespace varuna

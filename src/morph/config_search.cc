@@ -1,0 +1,125 @@
+#include "src/morph/config_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/morph/fast_sim.h"
+
+namespace varuna {
+
+int ConfigSearch::PickMicrobatchSize(double tolerance) const {
+  const std::vector<int>& sizes = calibration_->microbatch_sizes;
+  VARUNA_CHECK(!sizes.empty());
+  // Probe an interior cut-point (homogeneous-block models: any block works).
+  const int section = sections_->num_sections() > 2 ? 1 : 0;
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    const double per_example = calibration_->ForwardTime(section, sizes[i]) / sizes[i];
+    const double next_per_example =
+        calibration_->ForwardTime(section, sizes[i + 1]) / sizes[i + 1];
+    if (per_example - next_per_example <= tolerance * per_example) {
+      return sizes[i];
+    }
+  }
+  return sizes.back();
+}
+
+bool ConfigSearch::StageMemoryFits(const Partition& partition, int m, int num_microbatches,
+                                   const SearchConstraints& constraints) const {
+  const double block_full_act = BlockFullActivationBytes(*spec_);
+  const double blocks_per_section =
+      static_cast<double>(spec_->num_layers) / sections_->num_sections();
+  for (int stage = 0; stage < partition.depth(); ++stage) {
+    const int begin = partition.stage_begin[static_cast<size_t>(stage)];
+    const int end = partition.stage_begin[static_cast<size_t>(stage) + 1];
+    MemoryModelInputs inputs;
+    inputs.stage_params = partition.stage_params[static_cast<size_t>(stage)];
+    inputs.input_activation_bytes_per_example =
+        stage == 0 ? 4.0 * spec_->seq_len : spec_->BoundaryActivationBytes();
+    inputs.full_activation_bytes_per_example = block_full_act * blocks_per_section * (end - begin);
+    inputs.microbatch_size = m;
+    inputs.num_microbatches = num_microbatches;
+    inputs.pipeline_depth = partition.depth();
+    inputs.stage_index = stage;
+    inputs.cpu_offload_optimizer = constraints.cpu_offload_optimizer;
+    if (!Fits(EstimateStageMemory(ScheduleKind::kVaruna, inputs), constraints.budget)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<JobConfig>> ConfigSearch::Sweep(int gpus,
+                                                   const SearchConstraints& constraints) const {
+  VARUNA_CHECK_GT(constraints.total_batch, 0.0);
+  if (gpus < 1) {
+    return Result<std::vector<JobConfig>>::Error("no GPUs available");
+  }
+  const int m = PickMicrobatchSize(constraints.microbatch_tolerance);
+  const int max_depth = std::min(gpus, sections_->num_sections());
+
+  std::vector<JobConfig> feasible;
+  FastSimulator simulator(calibration_);
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    Result<Partition> partition = PartitionModel(*sections_, depth);
+    if (!partition.ok()) {
+      continue;
+    }
+    const int replicas = gpus / depth;
+    if (replicas < 1) {
+      continue;
+    }
+    const int num_microbatches = static_cast<int>(
+        std::ceil(constraints.total_batch / (static_cast<double>(m) * replicas)));
+    if (!StageMemoryFits(partition.value(), m, num_microbatches, constraints)) {
+      continue;  // Depth too shallow: a stage does not fit in GPU memory.
+    }
+
+    const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, depth, num_microbatches);
+    FastSimConfig sim_config;
+    sim_config.sections = sections_;
+    sim_config.partition = &partition.value();
+    sim_config.data_parallel = replicas;
+    sim_config.microbatch_size = m;
+    sim_config.gpus_per_node = constraints.gpus_per_node;
+    sim_config.shared_sync_bytes = constraints.shared_sync_bytes;
+    const FastSimResult sim = simulator.EstimateMinibatch(schedule, sim_config);
+
+    JobConfig config;
+    config.pipeline_depth = depth;
+    config.data_parallel = replicas;
+    config.microbatch_size = m;
+    config.num_microbatches = num_microbatches;
+    config.est_minibatch_s = sim.minibatch_s;
+    config.est_examples_per_s = config.ActualBatch() / sim.minibatch_s;
+    config.gpus_used = depth * replicas;
+    feasible.push_back(config);
+  }
+  if (feasible.empty()) {
+    std::ostringstream message;
+    message << "no feasible configuration for " << gpus << " GPUs (model " << spec_->name
+            << ", m=" << m << ")";
+    return Result<std::vector<JobConfig>>::Error(message.str());
+  }
+  return feasible;
+}
+
+Result<JobConfig> ConfigSearch::Best(int gpus, const SearchConstraints& constraints) const {
+  Result<std::vector<JobConfig>> sweep = Sweep(gpus, constraints);
+  if (!sweep.ok()) {
+    return Result<JobConfig>::Error(sweep.error());
+  }
+  const std::vector<JobConfig>& configs = sweep.value();
+  const JobConfig* best = &configs[0];
+  for (const JobConfig& candidate : configs) {
+    // M_total is fixed, so maximising throughput == minimising the time to
+    // process one mini-batch's worth of examples.
+    if (candidate.est_examples_per_s > best->est_examples_per_s) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+}  // namespace varuna

@@ -1,0 +1,76 @@
+// Auto-configuration (§4.4): given G available GPUs and the one-time
+// calibration, pick the best (P, D, m, Nm). The exploration is O(G):
+//   1. m is chosen once — the lowest m at which F_i(m)/m stops improving.
+//   2. P sweeps from the smallest memory-feasible depth up to the number of
+//      cut-points (or G); D = G / P; for each P one balanced cut-point
+//      assignment is evaluated with the fast simulator.
+// M_total stays fixed across configurations (correctness-preserving
+// morphing, §4.2): Nm = ceil(M_total / (m * D)) via gradient accumulation.
+#ifndef SRC_MORPH_CONFIG_SEARCH_H_
+#define SRC_MORPH_CONFIG_SEARCH_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/model/cutpoints.h"
+#include "src/model/transformer.h"
+#include "src/morph/calibration.h"
+#include "src/pipeline/memory.h"
+
+namespace varuna {
+
+struct JobConfig {
+  int pipeline_depth = 0;   // P
+  int data_parallel = 0;    // D
+  int microbatch_size = 0;  // m
+  int num_microbatches = 0; // Nm per replica per mini-batch.
+  double est_minibatch_s = 0.0;
+  double est_examples_per_s = 0.0;
+  int gpus_used = 0;        // P * D (<= G).
+
+  double ActualBatch() const {
+    return static_cast<double>(microbatch_size) * num_microbatches * data_parallel;
+  }
+};
+
+struct SearchConstraints {
+  double total_batch = 0.0;           // M_total, fixed by the user.
+  MemoryBudget budget;                // Per-GPU memory.
+  int gpus_per_node = 1;              // Placement packing for the fast sim.
+  double shared_sync_bytes = 0.0;     // From the tracer.
+  bool cpu_offload_optimizer = false;
+  // Relative throughput improvement below which F(m)/m has "stopped
+  // improving" when picking m (§4.4).
+  double microbatch_tolerance = 0.05;
+};
+
+class ConfigSearch {
+ public:
+  ConfigSearch(const TransformerSpec* spec, const ModelSections* sections,
+               const Calibration* calibration)
+      : spec_(spec), sections_(sections), calibration_(calibration) {}
+
+  // Lowest profiled m whose per-example forward time is within `tolerance` of
+  // the next profiled size's. Done once; reused across morphs.
+  int PickMicrobatchSize(double tolerance) const;
+
+  // Best configuration for `gpus` available GPUs. Returns an error when even
+  // the deepest pipeline cannot fit (too few GPUs or memory).
+  Result<JobConfig> Best(int gpus, const SearchConstraints& constraints) const;
+
+  // All feasible configurations evaluated during the sweep (for diagnostics
+  // and the Table 3 bench).
+  Result<std::vector<JobConfig>> Sweep(int gpus, const SearchConstraints& constraints) const;
+
+ private:
+  bool StageMemoryFits(const Partition& partition, int m, int num_microbatches,
+                       const SearchConstraints& constraints) const;
+
+  const TransformerSpec* spec_;
+  const ModelSections* sections_;
+  const Calibration* calibration_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_MORPH_CONFIG_SEARCH_H_

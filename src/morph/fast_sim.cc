@@ -1,0 +1,208 @@
+#include "src/morph/fast_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace varuna {
+
+FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
+                                               const FastSimConfig& config) const {
+  VARUNA_CHECK(config.sections != nullptr && config.partition != nullptr);
+  const int depth = schedule.depth;
+  VARUNA_CHECK_EQ(depth, config.partition->depth());
+  const int microbatches = schedule.num_microbatches;
+  const int m = config.microbatch_size;
+
+  // Per-stage primitives assembled from the calibrated cut-point parameters.
+  std::vector<double> fwd(static_cast<size_t>(depth), 0.0);
+  std::vector<double> bwd(static_cast<size_t>(depth), 0.0);
+  std::vector<double> send(static_cast<size_t>(depth), 0.0);  // To next stage.
+  std::vector<bool> hop_cross_node(static_cast<size_t>(depth), false);
+  std::vector<double> allreduce(static_cast<size_t>(depth), 0.0);
+  for (int s = 0; s < depth; ++s) {
+    const int begin = config.partition->stage_begin[static_cast<size_t>(s)];
+    const int end = config.partition->stage_begin[static_cast<size_t>(s) + 1];
+    for (int section = begin; section < end; ++section) {
+      fwd[static_cast<size_t>(s)] += calibration_->ForwardTime(section, m);
+      bwd[static_cast<size_t>(s)] += calibration_->BackwardTime(section, m);
+      allreduce[static_cast<size_t>(s)] += calibration_->allreduce.Predict(
+          2.0 * config.sections->params[static_cast<size_t>(section)], config.data_parallel);
+    }
+    if (s + 1 < depth) {
+      const bool cross_node = ((s + 1) % std::max(1, config.gpus_per_node)) == 0;
+      hop_cross_node[static_cast<size_t>(s)] = cross_node;
+      send[static_cast<size_t>(s)] = calibration_->SendTime(end - 1, m, cross_node);
+    }
+  }
+
+  // Replay the profiled transfer tail (§4.3: profiled times "include mean
+  // latency and jitter"): stalls on the gradient chain add to the critical
+  // path instead of averaging out, so they are sampled per transfer from a
+  // fixed-seed stream (deterministic estimates for a given configuration).
+  // Stall sizes follow the profiled exponential tail — large stalls punch
+  // through pipeline slack, so replaying the mean alone underestimates.
+  std::vector<std::vector<double>> fwd_stall(
+      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), 0.0));
+  std::vector<std::vector<double>> bwd_stall(
+      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), 0.0));
+  auto sample_stalls = [&](Rng* stall_rng) {
+    for (int s = 0; s + 1 < depth; ++s) {
+      for (int mb = 0; mb < microbatches; ++mb) {
+        fwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] = 0.0;
+        bwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] = 0.0;
+        if (!hop_cross_node[static_cast<size_t>(s)] ||
+            calibration_->send_stall_probability <= 0.0) {
+          continue;
+        }
+        if (stall_rng->Bernoulli(calibration_->send_stall_probability)) {
+          fwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] =
+              calibration_->send_stall_offset_s +
+              stall_rng->Exponential(calibration_->send_stall_scale_s);
+        }
+        if (stall_rng->Bernoulli(calibration_->send_stall_probability)) {
+          // A stage waiting on a stalled gradient opportunistically runs a
+          // pending forward (§3.2), recovering up to one forward's worth of
+          // work from the stall (minus the expected overshoot when the
+          // gradient lands mid-forward; long stalls fit several forwards).
+          const double stall = calibration_->send_stall_offset_s +
+                               stall_rng->Exponential(calibration_->send_stall_scale_s);
+          bwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] =
+              std::max(0.0, stall - 1.25 * fwd[static_cast<size_t>(s)]);
+        }
+      }
+    }
+  };
+
+  auto duration = [&](int s, PipeOpType type) {
+    switch (type) {
+      case PipeOpType::kForward:
+      case PipeOpType::kRecompute:
+      case PipeOpType::kIdleForward:
+        return fwd[static_cast<size_t>(s)];
+      case PipeOpType::kBackward:
+        return bwd[static_cast<size_t>(s)];
+      case PipeOpType::kIdleBackward:
+        return fwd[static_cast<size_t>(s)] + bwd[static_cast<size_t>(s)];
+    }
+    return 0.0;
+  };
+
+  // Longest-path evaluation of the schedule under strict per-stage op order.
+  std::vector<size_t> cursor(static_cast<size_t>(depth), 0);
+  std::vector<double> free_at(static_cast<size_t>(depth), 0.0);
+  std::vector<std::vector<double>> f_done(
+      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), -1.0));
+  std::vector<std::vector<double>> b_done(
+      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), -1.0));
+  auto reset_state = [&] {
+    std::fill(cursor.begin(), cursor.end(), 0);
+    std::fill(free_at.begin(), free_at.end(), 0.0);
+    for (int s = 0; s < depth; ++s) {
+      std::fill(f_done[static_cast<size_t>(s)].begin(), f_done[static_cast<size_t>(s)].end(),
+                -1.0);
+      std::fill(b_done[static_cast<size_t>(s)].begin(), b_done[static_cast<size_t>(s)].end(),
+                -1.0);
+    }
+  };
+
+  auto ready_time = [&](int s, const PipeOp& op) -> double {
+    switch (op.type) {
+      case PipeOpType::kForward:
+        if (s == 0) {
+          return 0.0;
+        }
+        if (f_done[static_cast<size_t>(s) - 1][static_cast<size_t>(op.microbatch)] < 0.0) {
+          return -1.0;
+        }
+        return f_done[static_cast<size_t>(s) - 1][static_cast<size_t>(op.microbatch)] +
+               send[static_cast<size_t>(s) - 1] +
+               fwd_stall[static_cast<size_t>(s) - 1][static_cast<size_t>(op.microbatch)];
+      case PipeOpType::kBackward:
+        if (s == depth - 1) {
+          return f_done[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)];
+        }
+        if (b_done[static_cast<size_t>(s) + 1][static_cast<size_t>(op.microbatch)] < 0.0) {
+          return -1.0;
+        }
+        return b_done[static_cast<size_t>(s) + 1][static_cast<size_t>(op.microbatch)] +
+               send[static_cast<size_t>(s)] +
+               bwd_stall[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)];
+      case PipeOpType::kRecompute:
+      case PipeOpType::kIdleForward:
+      case PipeOpType::kIdleBackward:
+        return 0.0;
+    }
+    return 0.0;
+  };
+
+  auto drain_stage = [&](int s) {
+    bool progressed = false;
+    while (cursor[static_cast<size_t>(s)] < schedule.ops[static_cast<size_t>(s)].size()) {
+      const PipeOp& op = schedule.ops[static_cast<size_t>(s)][cursor[static_cast<size_t>(s)]];
+      const double ready = ready_time(s, op);
+      if (ready < 0.0) {
+        break;
+      }
+      const double start = std::max(free_at[static_cast<size_t>(s)], ready);
+      const double end = start + duration(s, op.type);
+      free_at[static_cast<size_t>(s)] = end;
+      if (op.type == PipeOpType::kForward) {
+        f_done[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)] = end;
+      } else if (op.type == PipeOpType::kBackward) {
+        b_done[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)] = end;
+      }
+      ++cursor[static_cast<size_t>(s)];
+      progressed = true;
+    }
+    return progressed;
+  };
+  auto run_once = [&] {
+    reset_state();
+    // Forward dependencies resolve in the ascending sweep, backward chains in
+    // the descending sweep, so the pass count stays O(1) instead of O(P).
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (int s = 0; s < depth; ++s) {
+        progressed |= drain_stage(s);
+      }
+      for (int s = depth - 1; s >= 0; --s) {
+        progressed |= drain_stage(s);
+      }
+    }
+    for (int s = 0; s < depth; ++s) {
+      VARUNA_CHECK_EQ(cursor[static_cast<size_t>(s)], schedule.ops[static_cast<size_t>(s)].size())
+          << "fast-sim schedule deadlock at stage " << s;
+    }
+  };
+
+  // The mini-batch is gated by the slowest data-parallel replica: replay up
+  // to four independent stall streams and keep the worst pipeline.
+  Rng stall_rng(0x5eedULL ^ (static_cast<uint64_t>(depth) << 32) ^
+                static_cast<uint64_t>(microbatches));
+  const int replays = std::max(1, std::min(config.data_parallel, 4));
+  FastSimResult result;
+  for (int replay = 0; replay < replays; ++replay) {
+    sample_stalls(&stall_rng);
+    run_once();
+    for (int s = 0; s < depth; ++s) {
+      result.pipeline_s = std::max(result.pipeline_s, free_at[static_cast<size_t>(s)]);
+      result.minibatch_s = std::max(result.minibatch_s,
+                                    free_at[static_cast<size_t>(s)] +
+                                        allreduce[static_cast<size_t>(s)]);
+    }
+  }
+  for (int s = 0; s < depth; ++s) {
+    result.allreduce_s = std::max(result.allreduce_s, allreduce[static_cast<size_t>(s)]);
+  }
+  if (config.shared_sync_bytes > 0.0 && depth > 1) {
+    result.sync_s = calibration_->allreduce.Predict(config.shared_sync_bytes, 2);
+  }
+  result.minibatch_s += result.sync_s;
+  return result;
+}
+
+}  // namespace varuna

@@ -1,0 +1,49 @@
+// Parametrized simulator (§4.4). Given the calibrated primitives and a
+// candidate configuration (P, D, m, Nm + the cut-point-to-stage mapping), it
+// simulates one full mini-batch — Nm micro-batches through the Varuna
+// schedule followed by the allreduce — and outputs the estimated
+// time-per-mini-batch. It deliberately shares no code with the DES testbed:
+// it consumes only calibrated scalars, which is what makes Table 7 a genuine
+// accuracy test. Runtime is O(P * Nm), fast enough to sweep every P on each
+// morphing event (§7.2).
+#ifndef SRC_MORPH_FAST_SIM_H_
+#define SRC_MORPH_FAST_SIM_H_
+
+#include "src/model/cutpoints.h"
+#include "src/morph/calibration.h"
+#include "src/pipeline/schedule.h"
+
+namespace varuna {
+
+struct FastSimConfig {
+  const ModelSections* sections = nullptr;
+  const Partition* partition = nullptr;
+  int data_parallel = 1;
+  int microbatch_size = 1;
+  // Node packing of the placement: with g GPUs per node and pipeline-major
+  // placement, the hop from stage s to s+1 stays on-node unless (s+1) % g == 0.
+  int gpus_per_node = 1;
+  // Cross-partition shared-state sync (tied embeddings etc.) per mini-batch.
+  double shared_sync_bytes = 0.0;
+};
+
+struct FastSimResult {
+  double minibatch_s = 0.0;
+  double pipeline_s = 0.0;
+  double allreduce_s = 0.0;
+  double sync_s = 0.0;
+};
+
+class FastSimulator {
+ public:
+  explicit FastSimulator(const Calibration* calibration) : calibration_(calibration) {}
+
+  FastSimResult EstimateMinibatch(const Schedule& schedule, const FastSimConfig& config) const;
+
+ private:
+  const Calibration* calibration_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_MORPH_FAST_SIM_H_

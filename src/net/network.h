@@ -1,0 +1,62 @@
+// Point-to-point transfer timing and ring-allreduce cost model on top of a
+// Topology. Two entry points per quantity:
+//   * Sample...  — draws jitter/stalls from an Rng; used by the DES testbed.
+//   * Mean...    — expectation only; used by analytical baselines.
+// Varuna's own fast simulator uses neither directly: it consumes values that
+// the calibrator *measured* on the sampled testbed (§4.3).
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/topology.h"
+
+namespace varuna {
+
+class Network {
+ public:
+  // Cross-node flows from one node share its NIC. The `concurrent_flows`
+  // argument to the transfer functions says how many flows the caller expects
+  // to be in flight on the same NIC (the §4.3 calibration micro-benchmark
+  // measures allreduce with k concurrent rings).
+  explicit Network(const Topology* topology) : topology_(topology) {}
+
+  // Effective bandwidth for one flow between the two GPUs, with
+  // `concurrent_flows` flows sharing each NIC involved (>= 1).
+  double FlowBandwidth(GpuId src, GpuId dst, int concurrent_flows) const;
+
+  // Mean one-way latency between the two GPUs.
+  double MeanLatency(GpuId src, GpuId dst) const;
+
+  // Expected transfer time of `bytes` between the GPUs.
+  double MeanTransferTime(GpuId src, GpuId dst, double bytes, int concurrent_flows) const;
+
+  // Transfer time with sampled latency jitter and tail stalls.
+  double SampleTransferTime(GpuId src, GpuId dst, double bytes, int concurrent_flows,
+                            Rng* rng) const;
+
+  // Bandwidth-optimal ring allreduce of `bytes` across `members` (Patarasuk &
+  // Yuan): 2(D-1) steps, each moving bytes/D over the slowest ring link.
+  // `concurrent_rings` models k allreduces in flight sharing NICs (§4.3).
+  // With a single member this is free.
+  double MeanAllReduceTime(const std::vector<GpuId>& members, double bytes,
+                           int concurrent_rings) const;
+  double SampleAllReduceTime(const std::vector<GpuId>& members, double bytes,
+                             int concurrent_rings, Rng* rng) const;
+
+ private:
+  // Slowest link time parameters around the ring formed by `members` in order.
+  struct RingStep {
+    double bandwidth = 0.0;   // bytes/sec of the slowest hop
+    double latency = 0.0;     // mean latency of the slowest hop
+    bool crosses_node = false;
+  };
+  RingStep SlowestHop(const std::vector<GpuId>& members, int concurrent_rings) const;
+
+  const Topology* topology_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_NET_NETWORK_H_

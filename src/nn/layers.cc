@@ -1,0 +1,267 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+void Layer::ZeroGradients() {
+  for (Tensor* grad : Gradients()) {
+    grad->Fill(0.0f);
+  }
+}
+
+// --- Linear ----------------------------------------------------------------
+
+Linear::Linear(int in_features, int out_features, Rng* rng)
+    : weight_(Tensor::Randn({in_features, out_features}, rng,
+                            1.0f / std::sqrt(static_cast<float>(in_features)))),
+      bias_(Tensor::Zeros({out_features})),
+      weight_grad_(Tensor::Zeros({in_features, out_features})),
+      bias_grad_(Tensor::Zeros({out_features})) {}
+
+Tensor Linear::Forward(const Tensor& input) {
+  input_ = input;
+  return AddRowVector(MatMul(input, weight_), bias_);
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  VARUNA_CHECK(!input_.empty()) << "Linear::Backward without Forward";
+  weight_grad_.AddInPlace(MatMulTransposeA(input_, grad_output));
+  const int n = grad_output.dim(1);
+  for (int i = 0; i < grad_output.dim(0); ++i) {
+    for (int j = 0; j < n; ++j) {
+      bias_grad_[j] += grad_output.data()[static_cast<size_t>(i) * n + j];
+    }
+  }
+  return MatMulTransposeB(grad_output, weight_);
+}
+
+// --- Gelu --------------------------------------------------------------------
+
+namespace {
+constexpr float kGeluC = 0.7978845608f;  // sqrt(2/pi)
+
+float GeluValue(float x) {
+  const float inner = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluDerivative(float x) {
+  const float inner = kGeluC * (x + 0.044715f * x * x * x);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+}  // namespace
+
+Tensor Gelu::Forward(const Tensor& input) {
+  input_ = input;
+  Tensor out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] = GeluValue(out[i]);
+  }
+  return out;
+}
+
+Tensor Gelu::Backward(const Tensor& grad_output) {
+  VARUNA_CHECK(!input_.empty()) << "Gelu::Backward without Forward";
+  Tensor grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= GeluDerivative(input_[i]);
+  }
+  return grad;
+}
+
+// --- LayerNorm ---------------------------------------------------------------
+
+LayerNorm::LayerNorm(int features)
+    : gain_(Tensor::Zeros({features})),
+      bias_(Tensor::Zeros({features})),
+      gain_grad_(Tensor::Zeros({features})),
+      bias_grad_(Tensor::Zeros({features})) {
+  gain_.Fill(1.0f);
+}
+
+Tensor LayerNorm::Forward(const Tensor& input) {
+  input_ = input;
+  const int rows = input.dim(0);
+  const int n = input.dim(1);
+  normalized_ = Tensor({rows, n});
+  inv_std_ = Tensor({rows});
+  Tensor out({rows, n});
+  constexpr float kEpsilon = 1e-5f;
+  for (int i = 0; i < rows; ++i) {
+    const float* row = input.data() + static_cast<size_t>(i) * n;
+    float mean = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      mean += row[j];
+    }
+    mean /= n;
+    float variance = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      const float centered = row[j] - mean;
+      variance += centered * centered;
+    }
+    variance /= n;
+    const float inv_std = 1.0f / std::sqrt(variance + kEpsilon);
+    inv_std_[i] = inv_std;
+    for (int j = 0; j < n; ++j) {
+      const float normalized = (row[j] - mean) * inv_std;
+      normalized_.data()[static_cast<size_t>(i) * n + j] = normalized;
+      out.data()[static_cast<size_t>(i) * n + j] = normalized * gain_[j] + bias_[j];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_output) {
+  VARUNA_CHECK(!input_.empty()) << "LayerNorm::Backward without Forward";
+  const int rows = grad_output.dim(0);
+  const int n = grad_output.dim(1);
+  Tensor grad_input({rows, n});
+  for (int i = 0; i < rows; ++i) {
+    const float* g_row = grad_output.data() + static_cast<size_t>(i) * n;
+    const float* norm_row = normalized_.data() + static_cast<size_t>(i) * n;
+    float sum_g = 0.0f;
+    float sum_g_norm = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      const float g_hat = g_row[j] * gain_[j];
+      sum_g += g_hat;
+      sum_g_norm += g_hat * norm_row[j];
+      gain_grad_[j] += g_row[j] * norm_row[j];
+      bias_grad_[j] += g_row[j];
+    }
+    const float inv_n = 1.0f / n;
+    for (int j = 0; j < n; ++j) {
+      const float g_hat = g_row[j] * gain_[j];
+      grad_input.data()[static_cast<size_t>(i) * n + j] =
+          inv_std_[i] * (g_hat - inv_n * sum_g - norm_row[j] * inv_n * sum_g_norm);
+    }
+  }
+  return grad_input;
+}
+
+// --- MlpBlock ----------------------------------------------------------------
+
+MlpBlock::MlpBlock(int features, int hidden_multiplier, Rng* rng)
+    : norm_(features),
+      up_(features, features * hidden_multiplier, rng),
+      down_(features * hidden_multiplier, features, rng) {}
+
+Tensor MlpBlock::Forward(const Tensor& input) {
+  return Add(input, down_.Forward(gelu_.Forward(up_.Forward(norm_.Forward(input)))));
+}
+
+Tensor MlpBlock::Backward(const Tensor& grad_output) {
+  // Residual: gradient flows both through the branch and straight through.
+  Tensor branch = norm_.Backward(up_.Backward(gelu_.Backward(down_.Backward(grad_output))));
+  return Add(grad_output, branch);
+}
+
+std::vector<Tensor*> MlpBlock::Parameters() {
+  std::vector<Tensor*> params = norm_.Parameters();
+  for (Layer* layer : {static_cast<Layer*>(&up_), static_cast<Layer*>(&down_)}) {
+    for (Tensor* p : layer->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::vector<Tensor*> MlpBlock::Gradients() {
+  std::vector<Tensor*> grads = norm_.Gradients();
+  for (Layer* layer : {static_cast<Layer*>(&up_), static_cast<Layer*>(&down_)}) {
+    for (Tensor* g : layer->Gradients()) {
+      grads.push_back(g);
+    }
+  }
+  return grads;
+}
+
+// --- Sequential ----------------------------------------------------------------
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->Forward(x);
+  }
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Tensor*> Sequential::Parameters() {
+  std::vector<Tensor*> params;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::vector<Tensor*> Sequential::Gradients() {
+  std::vector<Tensor*> grads;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->Gradients()) {
+      grads.push_back(g);
+    }
+  }
+  return grads;
+}
+
+std::vector<std::unique_ptr<Sequential>> Sequential::Split(
+    std::unique_ptr<Sequential> model, const std::vector<int>& stage_begin) {
+  VARUNA_CHECK_GE(stage_begin.size(), 2u);
+  VARUNA_CHECK_EQ(stage_begin.front(), 0);
+  VARUNA_CHECK_EQ(stage_begin.back(), model->num_layers());
+  std::vector<std::unique_ptr<Sequential>> stages;
+  for (size_t s = 0; s + 1 < stage_begin.size(); ++s) {
+    auto stage = std::make_unique<Sequential>();
+    for (int i = stage_begin[s]; i < stage_begin[s + 1]; ++i) {
+      VARUNA_CHECK_LT(i, static_cast<int>(model->layers_.size()));
+      stage->Append(std::move(model->layers_[static_cast<size_t>(i)]));
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+// --- SoftmaxCrossEntropy ---------------------------------------------------
+
+double SoftmaxCrossEntropy::Loss(const Tensor& logits, const std::vector<int>& targets) {
+  VARUNA_CHECK_EQ(static_cast<size_t>(logits.dim(0)), targets.size());
+  probabilities_ = RowSoftmax(logits);
+  targets_ = targets;
+  double loss = 0.0;
+  const int n = logits.dim(1);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    VARUNA_CHECK(targets[i] >= 0 && targets[i] < n);
+    const float p =
+        probabilities_.data()[i * static_cast<size_t>(n) + static_cast<size_t>(targets[i])];
+    loss -= std::log(std::max(p, 1e-12f));
+  }
+  return loss / static_cast<double>(targets.size());
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  VARUNA_CHECK(!targets_.empty()) << "Backward before Loss";
+  Tensor grad = probabilities_;
+  const int n = grad.dim(1);
+  const float inv_batch = 1.0f / static_cast<float>(targets_.size());
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    grad.data()[i * static_cast<size_t>(n) + static_cast<size_t>(targets_[i])] -= 1.0f;
+  }
+  grad.Scale(inv_batch);
+  return grad;
+}
+
+}  // namespace varuna

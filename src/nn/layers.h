@@ -1,0 +1,147 @@
+// Neural-network layers with hand-written backward passes. Layers keep the
+// state of exactly one forward pass (the last one); pipeline trainers
+// re-establish that state by re-running Forward from the stashed stage input
+// right before Backward — which is precisely gradient-checkpointed recompute
+// (§2, §3.1), so the numerics of the real system carry over.
+#ifndef SRC_NN_LAYERS_H_
+#define SRC_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace varuna {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Computes the output and caches whatever Backward needs.
+  virtual Tensor Forward(const Tensor& input) = 0;
+  // Propagates the output gradient, *accumulating* parameter gradients.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  virtual std::vector<Tensor*> Parameters() { return {}; }
+  virtual std::vector<Tensor*> Gradients() { return {}; }
+  virtual std::string name() const = 0;
+
+  void ZeroGradients();
+};
+
+// y = x W + b, with W [in, out] and b [out].
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, Rng* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Gradients() override { return {&weight_grad_, &bias_grad_}; }
+  std::string name() const override { return "linear"; }
+
+  Tensor& weight() { return weight_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor input_;
+};
+
+// GELU activation (tanh approximation).
+class Gelu : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "gelu"; }
+
+ private:
+  Tensor input_;
+};
+
+// LayerNorm over the last dimension with learnable gain and bias.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int features);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override { return {&gain_, &bias_}; }
+  std::vector<Tensor*> Gradients() override { return {&gain_grad_, &bias_grad_}; }
+  std::string name() const override { return "layernorm"; }
+
+ private:
+  Tensor gain_;
+  Tensor bias_;
+  Tensor gain_grad_;
+  Tensor bias_grad_;
+  Tensor normalized_;
+  Tensor inv_std_;  // [rows].
+  Tensor input_;
+};
+
+// Pre-norm residual MLP block: x + W2 gelu(W1 ln(x)) — the repetitive
+// structure the auto-partitioner exploits; the block boundary is the natural
+// cut-point.
+class MlpBlock : public Layer {
+ public:
+  MlpBlock(int features, int hidden_multiplier, Rng* rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override;
+  std::vector<Tensor*> Gradients() override;
+  std::string name() const override { return "mlp_block"; }
+
+ private:
+  LayerNorm norm_;
+  Linear up_;
+  Gelu gelu_;
+  Linear down_;
+};
+
+// Ordered stack of layers. Supports slicing into pipeline stages.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void Append(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override;
+  std::vector<Tensor*> Gradients() override;
+  std::string name() const override { return "sequential"; }
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_[static_cast<size_t>(i)]; }
+
+  // Moves layers [begin, end) into a new Sequential (this keeps the rest).
+  // Used by the pipeline trainer to split a model at cut-points.
+  static std::vector<std::unique_ptr<Sequential>> Split(std::unique_ptr<Sequential> model,
+                                                        const std::vector<int>& stage_begin);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// Softmax cross-entropy against integer targets; mean over the batch.
+class SoftmaxCrossEntropy {
+ public:
+  // logits [batch, classes]; targets one id per row.
+  double Loss(const Tensor& logits, const std::vector<int>& targets);
+  // d(loss)/d(logits) for the last Loss() call.
+  Tensor Backward() const;
+
+ private:
+  Tensor probabilities_;
+  std::vector<int> targets_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_NN_LAYERS_H_

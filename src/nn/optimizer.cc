@@ -1,0 +1,119 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+Optimizer::Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  VARUNA_CHECK_EQ(params_.size(), grads_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    VARUNA_CHECK(params_[i]->shape() == grads_[i]->shape());
+  }
+}
+
+void Optimizer::ZeroGradients() {
+  for (Tensor* grad : grads_) {
+    grad->Fill(0.0f);
+  }
+}
+
+double Optimizer::GradientSquaredNorm() const {
+  double sum = 0.0;
+  for (const Tensor* grad : grads_) {
+    sum += grad->SquaredNorm();
+  }
+  return sum;
+}
+
+void Optimizer::ScaleGradients(float factor) {
+  for (Tensor* grad : grads_) {
+    grad->Scale(factor);
+  }
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+                           float learning_rate, float momentum)
+    : Optimizer(std::move(params), std::move(grads)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  for (const Tensor* param : params_) {
+    velocity_.push_back(Tensor::Zeros(param->shape()));
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& velocity = velocity_[i];
+    if (momentum_ != 0.0f) {
+      velocity.Scale(momentum_);
+      velocity.AddInPlace(*grads_[i]);
+      params_[i]->Axpy(-learning_rate_, velocity);
+    } else {
+      params_[i]->Axpy(-learning_rate_, *grads_[i]);
+    }
+  }
+}
+
+void SgdOptimizer::ImportState(const std::vector<Tensor>& state) {
+  VARUNA_CHECK_EQ(state.size(), velocity_.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    VARUNA_CHECK(state[i].shape() == velocity_[i].shape());
+  }
+  velocity_ = state;
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads,
+                             float learning_rate, float beta1, float beta2, float epsilon)
+    : Optimizer(std::move(params), std::move(grads)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  for (const Tensor* param : params_) {
+    first_moment_.push_back(Tensor::Zeros(param->shape()));
+    second_moment_.push_back(Tensor::Zeros(param->shape()));
+  }
+}
+
+std::vector<Tensor> AdamOptimizer::ExportState() const {
+  std::vector<Tensor> state = first_moment_;
+  state.insert(state.end(), second_moment_.begin(), second_moment_.end());
+  Tensor step({1});
+  step[0] = static_cast<float>(step_count_);
+  state.push_back(step);
+  return state;
+}
+
+void AdamOptimizer::ImportState(const std::vector<Tensor>& state) {
+  VARUNA_CHECK_EQ(state.size(), first_moment_.size() + second_moment_.size() + 1);
+  for (size_t i = 0; i < first_moment_.size(); ++i) {
+    VARUNA_CHECK(state[i].shape() == first_moment_[i].shape());
+    first_moment_[i] = state[i];
+    second_moment_[i] = state[first_moment_.size() + i];
+  }
+  step_count_ = static_cast<int64_t>(state.back()[0]);
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& m = first_moment_[i];
+    Tensor& v = second_moment_[i];
+    Tensor& param = *params_[i];
+    const Tensor& grad = *grads_[i];
+    for (int64_t j = 0; j < param.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      param[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace varuna

@@ -1,0 +1,99 @@
+#include "src/nn/synthetic_task.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+MarkovTask::MarkovTask(int vocab, uint64_t seed, double peakedness) : vocab_(vocab) {
+  VARUNA_CHECK_GE(vocab, 2);
+  Rng rng(seed);
+  transitions_.assign(static_cast<size_t>(vocab) * vocab, 0.0);
+  for (int from = 0; from < vocab; ++from) {
+    double row_sum = 0.0;
+    for (int to = 0; to < vocab; ++to) {
+      const double weight = std::exp(peakedness * rng.Gaussian());
+      transitions_[static_cast<size_t>(from) * vocab + to] = weight;
+      row_sum += weight;
+    }
+    for (int to = 0; to < vocab; ++to) {
+      transitions_[static_cast<size_t>(from) * vocab + to] /= row_sum;
+    }
+  }
+  // Stationary distribution by power iteration.
+  stationary_.assign(static_cast<size_t>(vocab), 1.0 / vocab);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> next(static_cast<size_t>(vocab), 0.0);
+    for (int from = 0; from < vocab; ++from) {
+      for (int to = 0; to < vocab; ++to) {
+        next[static_cast<size_t>(to)] +=
+            stationary_[static_cast<size_t>(from)] *
+            transitions_[static_cast<size_t>(from) * vocab + to];
+      }
+    }
+    stationary_ = next;
+  }
+}
+
+Batch MarkovTask::Sample(int batch_size, Rng* rng) const {
+  Batch batch;
+  batch.inputs = Tensor::Zeros({batch_size, vocab_});
+  batch.targets.resize(static_cast<size_t>(batch_size));
+  for (int i = 0; i < batch_size; ++i) {
+    // Draw the current token from the stationary distribution.
+    double u = rng->NextDouble();
+    int current = vocab_ - 1;
+    for (int token = 0; token < vocab_; ++token) {
+      u -= stationary_[static_cast<size_t>(token)];
+      if (u <= 0.0) {
+        current = token;
+        break;
+      }
+    }
+    batch.inputs.at(i, current) = 1.0f;
+    // Draw the next token from the transition row.
+    double v = rng->NextDouble();
+    int next = vocab_ - 1;
+    for (int token = 0; token < vocab_; ++token) {
+      v -= transitions_[static_cast<size_t>(current) * vocab_ + token];
+      if (v <= 0.0) {
+        next = token;
+        break;
+      }
+    }
+    batch.targets[static_cast<size_t>(i)] = next;
+  }
+  return batch;
+}
+
+double MarkovTask::OptimalPerplexity() const {
+  double entropy = 0.0;
+  for (int from = 0; from < vocab_; ++from) {
+    for (int to = 0; to < vocab_; ++to) {
+      const double p = transitions_[static_cast<size_t>(from) * vocab_ + to];
+      if (p > 0.0) {
+        entropy -= stationary_[static_cast<size_t>(from)] * p * std::log(p);
+      }
+    }
+  }
+  return std::exp(entropy);
+}
+
+double MarkovTask::ValidationLoss(Layer* model, int batch_size, Rng* rng) const {
+  const Batch batch = Sample(batch_size, rng);
+  SoftmaxCrossEntropy loss;
+  return loss.Loss(model->Forward(batch.inputs), batch.targets);
+}
+
+std::unique_ptr<Sequential> BuildBlockModel(int vocab, int width, int blocks, Rng* rng) {
+  auto model = std::make_unique<Sequential>();
+  model->Append(std::make_unique<Linear>(vocab, width, rng));  // Embedding.
+  for (int b = 0; b < blocks; ++b) {
+    model->Append(std::make_unique<MlpBlock>(width, 4, rng));
+  }
+  model->Append(std::make_unique<Linear>(width, vocab, rng));  // LM head.
+  return model;
+}
+
+}  // namespace varuna

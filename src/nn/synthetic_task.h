@@ -1,0 +1,53 @@
+// Synthetic language-modelling task: a random first-order Markov chain over a
+// small vocabulary. The model sees the current token (one-hot) and predicts
+// the next; the achievable validation perplexity is the chain's conditional
+// entropy, so convergence quality has a crisp ground truth. This stands in
+// for WebText in the convergence experiments (Fig. 9 / Fig. 10) — deliverable
+// semantics (batch scaling, staleness) are task-independent.
+#ifndef SRC_NN_SYNTHETIC_TASK_H_
+#define SRC_NN_SYNTHETIC_TASK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/layers.h"
+#include "src/tensor/tensor.h"
+
+namespace varuna {
+
+struct Batch {
+  Tensor inputs;             // [batch, vocab] one-hot current tokens.
+  std::vector<int> targets;  // Next tokens.
+};
+
+class MarkovTask {
+ public:
+  // `peakedness` > 0 sharpens transitions (lower entropy). Deterministic for
+  // a given seed.
+  MarkovTask(int vocab, uint64_t seed, double peakedness = 2.0);
+
+  int vocab() const { return vocab_; }
+
+  Batch Sample(int batch_size, Rng* rng) const;
+
+  // exp(conditional entropy): the perplexity a perfect model achieves.
+  double OptimalPerplexity() const;
+
+  // Mean cross-entropy of `model` on freshly sampled validation data.
+  double ValidationLoss(Layer* model, int batch_size, Rng* rng) const;
+
+ private:
+  int vocab_;
+  std::vector<double> stationary_;   // Stationary distribution over tokens.
+  std::vector<double> transitions_;  // Row-major [vocab, vocab].
+};
+
+// Builds the benchmark model: embedding (Linear from one-hot), `blocks`
+// residual MLP blocks (the repetitive structure cut-points slice), and an LM
+// head. Layer 0 is the embedding; layer blocks+1 is the head.
+std::unique_ptr<Sequential> BuildBlockModel(int vocab, int width, int blocks, Rng* rng);
+
+}  // namespace varuna
+
+#endif  // SRC_NN_SYNTHETIC_TASK_H_

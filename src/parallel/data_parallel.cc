@@ -1,0 +1,56 @@
+#include "src/parallel/data_parallel.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/pipeline/memory.h"
+
+namespace varuna {
+
+Result<DataParallelResult> EvaluateDataParallel(const TransformerSpec& spec,
+                                                const Cluster& cluster,
+                                                const DataParallelConfig& config) {
+  VARUNA_CHECK_GE(config.replicas, 1);
+  VARUNA_CHECK_GE(config.microbatch_size, 1);
+  VARUNA_CHECK_GT(config.total_batch, 0.0);
+
+  const std::vector<GpuId> pool = cluster.ActiveGpus();
+  if (static_cast<int>(pool.size()) < config.replicas) {
+    std::ostringstream message;
+    message << "data-parallel needs " << config.replicas << " GPUs, have " << pool.size();
+    return Result<DataParallelResult>::Error(message.str());
+  }
+  const GpuSpec& gpu = cluster.Gpu(pool[0]);
+
+  DataParallelResult result;
+  const double m = config.microbatch_size;
+  const double state_bytes = 16.0 * spec.TotalParams();
+  const double live_activations =
+      config.gradient_checkpointing
+          ? BlockFullActivationBytes(spec) * m  // One block's working set.
+          : BlockFullActivationBytes(spec) * m * spec.num_layers;
+  result.fits_memory = state_bytes + live_activations <= 0.92 * gpu.memory_bytes;
+
+  const double layer_work = spec.LayerFwdFlops() * m;
+  const double fwd = spec.num_layers * gpu.ComputeTime(layer_work) +
+                     gpu.ComputeTime(spec.HeadFwdFlops() * m);
+  const double passes = config.gradient_checkpointing ? 4.0 : 3.0;
+  const double steps = std::max(1.0, config.total_batch / (m * config.replicas));
+  result.compute_s = steps * passes * fwd;
+
+  if (config.replicas > 1) {
+    std::vector<GpuId> ring(pool.begin(), pool.begin() + config.replicas);
+    // Every GPU of a node participates in the same global ring (ordered by
+    // node), so each NIC carries one inbound and one outbound ring hop.
+    result.allreduce_s =
+        cluster.network().MeanAllReduceTime(ring, 2.0 * spec.TotalParams(), 1);
+  }
+
+  result.minibatch_s = result.compute_s + result.allreduce_s;
+  result.examples_per_s = config.total_batch / result.minibatch_s;
+  result.examples_per_s_per_gpu = result.examples_per_s / config.replicas;
+  return result;
+}
+
+}  // namespace varuna

@@ -1,0 +1,36 @@
+// Fully data-parallel training cost model — the baseline for models that fit
+// in a single GPU (BERT-large in §7.1.1, Figure 1b). Each of the G replicas
+// runs forward+backward on its share of the mini-batch, then a global ring
+// allreduce averages gradients.
+#ifndef SRC_PARALLEL_DATA_PARALLEL_H_
+#define SRC_PARALLEL_DATA_PARALLEL_H_
+
+#include "src/cluster/cluster.h"
+#include "src/common/result.h"
+#include "src/model/transformer.h"
+
+namespace varuna {
+
+struct DataParallelConfig {
+  int replicas = 1;          // G
+  int microbatch_size = 1;   // m per accumulation step.
+  double total_batch = 0.0;
+  bool gradient_checkpointing = false;  // Adds the recompute pass.
+};
+
+struct DataParallelResult {
+  bool fits_memory = false;
+  double minibatch_s = 0.0;
+  double compute_s = 0.0;
+  double allreduce_s = 0.0;
+  double examples_per_s = 0.0;
+  double examples_per_s_per_gpu = 0.0;
+};
+
+Result<DataParallelResult> EvaluateDataParallel(const TransformerSpec& spec,
+                                                const Cluster& cluster,
+                                                const DataParallelConfig& config);
+
+}  // namespace varuna
+
+#endif  // SRC_PARALLEL_DATA_PARALLEL_H_

@@ -1,0 +1,68 @@
+// Static pipeline schedules. A Schedule is a per-stage ordered list of
+// micro-batch operations; generators produce the shapes of the systems the
+// paper compares (§3.2, §7.1.2):
+//   * Varuna  — rule-based generation (just-in-time recompute, backward
+//               priority, no last-stage recompute), Figure 4 top.
+//   * GPipe   — all forwards, then reverse-order recompute+backward,
+//               Figure 4 bottom.
+//   * 1F1B    — PipeDream/Megatron steady-state one-forward-one-backward with
+//               warmup and drain (run synchronously, as Megatron-1F1B).
+//   * DeepSpeed — even/odd slotted forward/backward alternation; idle slots
+//               during warmup/drain are materialised as explicit idle ops.
+#ifndef SRC_PIPELINE_SCHEDULE_H_
+#define SRC_PIPELINE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+namespace varuna {
+
+enum class PipeOpType {
+  kForward,
+  kRecompute,
+  kBackward,
+  // DeepSpeed slot idles: occupy the stage for one forward / one
+  // recompute+backward duration without doing work.
+  kIdleForward,
+  kIdleBackward,
+};
+
+struct PipeOp {
+  PipeOpType type = PipeOpType::kForward;
+  int microbatch = -1;  // -1 for idle ops.
+
+  bool operator==(const PipeOp&) const = default;
+};
+
+enum class ScheduleKind { kVaruna, kGpipe, kOneFOneB, kDeepSpeed };
+
+std::string ToString(ScheduleKind kind);
+
+struct Schedule {
+  ScheduleKind kind = ScheduleKind::kVaruna;
+  int depth = 0;
+  int num_microbatches = 0;
+  // ops[stage] is the stage's op order. Stage depth-1 is the last stage.
+  std::vector<std::vector<PipeOp>> ops;
+
+  // True when the executor may deviate from the order to stay work-conserving
+  // under jitter (§3.2: Varuna only).
+  bool opportunistic = false;
+};
+
+// Generates the static schedule for `kind` with `depth` stages and
+// `num_microbatches` micro-batches. Requires depth >= 1, num_microbatches >= 1.
+Schedule GenerateSchedule(ScheduleKind kind, int depth, int num_microbatches);
+
+// Renders a schedule as a unit-time ASCII Gantt (Tf = Tr = 1, Tb = 2), for
+// Figure 4-style output and debugging.
+std::string RenderScheduleGantt(const Schedule& schedule, int width = 120);
+
+// Makespan of the schedule in unit times (Tf = Tr = 1, Tb = 2), assuming zero
+// communication latency — the metric behind "Varuna uses 1 less time unit
+// compared to Gpipe" in Figure 4.
+double ScheduleMakespanUnits(const Schedule& schedule);
+
+}  // namespace varuna
+
+#endif  // SRC_PIPELINE_SCHEDULE_H_

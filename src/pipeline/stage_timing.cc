@@ -1,0 +1,36 @@
+#include "src/pipeline/stage_timing.h"
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+std::vector<StageTiming> ComputeStageTimings(const ModelSections& sections,
+                                             const Partition& partition, const GpuSpec& gpu,
+                                             int microbatch_size) {
+  VARUNA_CHECK_GE(microbatch_size, 1);
+  const int depth = partition.depth();
+  std::vector<StageTiming> timings(static_cast<size_t>(depth));
+  for (int stage = 0; stage < depth; ++stage) {
+    StageTiming& timing = timings[static_cast<size_t>(stage)];
+    const int begin = partition.stage_begin[static_cast<size_t>(stage)];
+    const int end = partition.stage_begin[static_cast<size_t>(stage) + 1];
+    for (int section = begin; section < end; ++section) {
+      // Kernel granularity: one section (~one transformer block) launches as
+      // a unit, so small micro-batches run below peak efficiency.
+      const double fwd_work =
+          sections.fwd_flops[static_cast<size_t>(section)] * microbatch_size;
+      timing.forward_s += gpu.ComputeTime(fwd_work);
+      timing.backward_s += gpu.ComputeTime(2.0 * fwd_work);
+    }
+    timing.recompute_s = timing.forward_s;
+    if (stage + 1 < depth) {
+      timing.send_activation_bytes =
+          partition.send_activation_bytes[static_cast<size_t>(stage)] * microbatch_size;
+    }
+    // fp16 gradients (2 bytes/param) are what the data-parallel ring moves.
+    timing.grad_allreduce_bytes = 2.0 * partition.stage_params[static_cast<size_t>(stage)];
+  }
+  return timings;
+}
+
+}  // namespace varuna

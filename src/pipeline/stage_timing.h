@@ -1,0 +1,34 @@
+// Deterministic per-stage compute/communication quantities used by the DES
+// executor (the "testbed"). Times come from the GPU efficiency model applied
+// at cut-point-section kernel granularity; communication volumes come from
+// the partition's boundary activations and stage parameter counts.
+#ifndef SRC_PIPELINE_STAGE_TIMING_H_
+#define SRC_PIPELINE_STAGE_TIMING_H_
+
+#include <vector>
+
+#include "src/cluster/gpu.h"
+#include "src/model/cutpoints.h"
+
+namespace varuna {
+
+struct StageTiming {
+  double forward_s = 0.0;    // Per micro-batch.
+  double recompute_s = 0.0;  // == forward (checkpointed recompute).
+  double backward_s = 0.0;   // ~2x forward.
+  // Activation bytes sent to the next stage per micro-batch (0 for the last
+  // stage); the matching gradient sent upstream has the same size.
+  double send_activation_bytes = 0.0;
+  // fp16 gradient bytes allreduced across data-parallel replicas of the stage.
+  double grad_allreduce_bytes = 0.0;
+};
+
+// Computes timings for every stage of `partition` (sections described by
+// `sections`) at micro-batch size `m` on `gpu`.
+std::vector<StageTiming> ComputeStageTimings(const ModelSections& sections,
+                                             const Partition& partition, const GpuSpec& gpu,
+                                             int microbatch_size);
+
+}  // namespace varuna
+
+#endif  // SRC_PIPELINE_STAGE_TIMING_H_

@@ -1,0 +1,57 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+SimEngine::EventId SimEngine::Schedule(SimTime delay, Callback callback) {
+  VARUNA_CHECK_GE(delay, 0.0);
+  return ScheduleAt(now_ + delay, std::move(callback));
+}
+
+SimEngine::EventId SimEngine::ScheduleAt(SimTime when, Callback callback) {
+  VARUNA_CHECK_GE(when, now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(callback)});
+  return id;
+}
+
+void SimEngine::Cancel(EventId id) { cancelled_.push_back(id); }
+
+bool SimEngine::Step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = event.when;
+    ++events_processed_;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+void SimEngine::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void SimEngine::RunUntil(SimTime until) {
+  VARUNA_CHECK_GE(until, now_);
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().when <= until) {
+    Step();
+  }
+  if (!stopped_) {
+    now_ = until;
+  }
+}
+
+}  // namespace varuna

@@ -1,0 +1,215 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace varuna {
+namespace {
+
+int64_t NumElements(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (const int d : shape) {
+    VARUNA_CHECK_GT(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(NumElements(shape_)), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Randn(std::vector<int> shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+float& Tensor::at(int row, int col) {
+  VARUNA_CHECK_EQ(shape_.size(), 2u);
+  VARUNA_CHECK(row >= 0 && row < shape_[0] && col >= 0 && col < shape_[1]);
+  return data_[static_cast<size_t>(row) * shape_[1] + static_cast<size_t>(col)];
+}
+
+float Tensor::at(int row, int col) const { return const_cast<Tensor*>(this)->at(row, col); }
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::AddInPlace(const Tensor& other) {
+  VARUNA_CHECK(shape_ == other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  VARUNA_CHECK(shape_ == other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float alpha) {
+  for (float& x : data_) {
+    x *= alpha;
+  }
+}
+
+double Tensor::SquaredNorm() const {
+  double sum = 0.0;
+  for (const float x : data_) {
+    sum += static_cast<double>(x) * x;
+  }
+  return sum;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  VARUNA_CHECK_EQ(a.shape().size(), 2u);
+  VARUNA_CHECK_EQ(b.shape().size(), 2u);
+  VARUNA_CHECK_EQ(a.dim(1), b.dim(0));
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(1);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aip = a.data()[static_cast<size_t>(i) * k + p];
+      if (aip == 0.0f) {
+        continue;
+      }
+      const float* b_row = b.data() + static_cast<size_t>(p) * n;
+      float* c_row = c.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += aip * b_row[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  VARUNA_CHECK_EQ(a.dim(1), b.dim(1));
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(0);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float* a_row = a.data() + static_cast<size_t>(i) * k;
+      const float* b_row = b.data() + static_cast<size_t>(j) * k;
+      float sum = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        sum += a_row[p] * b_row[p];
+      }
+      c.data()[static_cast<size_t>(i) * n + j] = sum;
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b) {
+  VARUNA_CHECK_EQ(a.dim(0), b.dim(0));
+  const int k = a.dim(0);
+  const int m = a.dim(1);
+  const int n = b.dim(1);
+  Tensor c({m, n});
+  for (int p = 0; p < k; ++p) {
+    const float* a_row = a.data() + static_cast<size_t>(p) * m;
+    const float* b_row = b.data() + static_cast<size_t>(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const float api = a_row[i];
+      if (api == 0.0f) {
+        continue;
+      }
+      float* c_row = c.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        c_row[j] += api * b_row[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  VARUNA_CHECK(a.shape() == b.shape());
+  Tensor c = a;
+  c.AddInPlace(b);
+  return c;
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& row) {
+  VARUNA_CHECK_EQ(a.shape().size(), 2u);
+  VARUNA_CHECK_EQ(row.size(), a.dim(1));
+  Tensor c = a;
+  const int n = a.dim(1);
+  for (int i = 0; i < a.dim(0); ++i) {
+    for (int j = 0; j < n; ++j) {
+      c.data()[static_cast<size_t>(i) * n + j] += row[j];
+    }
+  }
+  return c;
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  VARUNA_CHECK(a.shape() == b.shape());
+  Tensor c = a;
+  for (int64_t i = 0; i < c.size(); ++i) {
+    c[i] *= b[i];
+  }
+  return c;
+}
+
+Tensor RowSoftmax(const Tensor& logits) {
+  VARUNA_CHECK_EQ(logits.shape().size(), 2u);
+  const int m = logits.dim(0);
+  const int n = logits.dim(1);
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i) {
+    const float* row = logits.data() + static_cast<size_t>(i) * n;
+    float* out_row = out.data() + static_cast<size_t>(i) * n;
+    float max_logit = row[0];
+    for (int j = 1; j < n; ++j) {
+      max_logit = std::max(max_logit, row[j]);
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      out_row[j] = std::exp(row[j] - max_logit);
+      sum += out_row[j];
+    }
+    for (int j = 0; j < n; ++j) {
+      out_row[j] /= sum;
+    }
+  }
+  return out;
+}
+
+bool Identical(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  VARUNA_CHECK(a.shape() == b.shape());
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace varuna

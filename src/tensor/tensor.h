@@ -1,0 +1,74 @@
+// Minimal dense float tensor for the convergence experiments (§7.3, Fig. 9,
+// Fig. 10). Deliberately small: row-major float32, shape-checked ops, no
+// broadcasting magic — enough to build and train partitioned MLP-block
+// models with exact, reproducible numerics.
+#ifndef SRC_TENSOR_TENSOR_H_
+#define SRC_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace varuna {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor Zeros(std::vector<int> shape);
+  // Gaussian init with the given standard deviation.
+  static Tensor Randn(std::vector<int> shape, Rng* rng, float stddev);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int axis) const { return shape_[static_cast<size_t>(axis)]; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int row, int col);
+  float at(int row, int col) const;
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // Elementwise in-place updates.
+  void Fill(float value);
+  void AddInPlace(const Tensor& other);          // this += other
+  void Axpy(float alpha, const Tensor& other);   // this += alpha * other
+  void Scale(float alpha);
+
+  // Sum of squared elements (for global-norm style reductions).
+  double SquaredNorm() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+// C = A([m,k]) * B([k,n]).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// C = A([m,k]) * B^T([n,k]).
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+// C = A^T([k,m]) * B([k,n]).
+Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
+
+Tensor Add(const Tensor& a, const Tensor& b);
+// Adds a [n] row vector to every row of a [m,n] matrix.
+Tensor AddRowVector(const Tensor& a, const Tensor& row);
+Tensor Hadamard(const Tensor& a, const Tensor& b);
+
+// Row-wise softmax of a [m,n] matrix.
+Tensor RowSoftmax(const Tensor& logits);
+
+// True when shapes and every element match exactly.
+bool Identical(const Tensor& a, const Tensor& b);
+// Max |a-b| over elements; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace varuna
+
+#endif  // SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,285 @@
+#include "src/train/trainers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+std::vector<Batch> SplitIntoMicrobatches(const Batch& batch, int microbatch_size) {
+  VARUNA_CHECK_GE(microbatch_size, 1);
+  const int total = batch.inputs.dim(0);
+  VARUNA_CHECK_EQ(total % microbatch_size, 0)
+      << "batch of " << total << " not divisible into micro-batches of " << microbatch_size;
+  const int vocab = batch.inputs.dim(1);
+  std::vector<Batch> microbatches;
+  for (int begin = 0; begin < total; begin += microbatch_size) {
+    Batch microbatch;
+    microbatch.inputs = Tensor({microbatch_size, vocab});
+    for (int i = 0; i < microbatch_size; ++i) {
+      for (int j = 0; j < vocab; ++j) {
+        microbatch.inputs.at(i, j) = batch.inputs.at(begin + i, j);
+      }
+      microbatch.targets.push_back(batch.targets[static_cast<size_t>(begin + i)]);
+    }
+    microbatches.push_back(std::move(microbatch));
+  }
+  return microbatches;
+}
+
+ParameterCheckpoint SnapshotParameters(const std::vector<Tensor*>& params,
+                                       const Optimizer& optimizer) {
+  ParameterCheckpoint checkpoint;
+  checkpoint.parameters.reserve(params.size());
+  for (const Tensor* param : params) {
+    checkpoint.parameters.push_back(*param);
+  }
+  checkpoint.optimizer_state = optimizer.ExportState();
+  return checkpoint;
+}
+
+void RestoreParameters(const ParameterCheckpoint& checkpoint,
+                       const std::vector<Tensor*>& params, Optimizer* optimizer) {
+  VARUNA_CHECK_EQ(checkpoint.parameters.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    VARUNA_CHECK(checkpoint.parameters[i].shape() == params[i]->shape());
+    *params[i] = checkpoint.parameters[i];
+  }
+  optimizer->ImportState(checkpoint.optimizer_state);
+}
+
+// --- ReferenceTrainer --------------------------------------------------------
+
+ReferenceTrainer::ReferenceTrainer(std::unique_ptr<Sequential> model)
+    : model_(std::move(model)) {}
+
+double ReferenceTrainer::ForwardBackward(const Batch& batch, int microbatch_size) {
+  const std::vector<Batch> microbatches = SplitIntoMicrobatches(batch, microbatch_size);
+  const float scale = 1.0f / static_cast<float>(microbatches.size());
+  double total_loss = 0.0;
+  SoftmaxCrossEntropy loss;
+  for (const Batch& microbatch : microbatches) {
+    const Tensor logits = model_->Forward(microbatch.inputs);
+    total_loss += loss.Loss(logits, microbatch.targets);
+    Tensor grad = loss.Backward();
+    grad.Scale(scale);  // Full-batch mean across micro-batches.
+    model_->Backward(grad);
+  }
+  return total_loss / static_cast<double>(microbatches.size());
+}
+
+// --- SyncPipelineTrainer -----------------------------------------------------
+
+SyncPipelineTrainer::SyncPipelineTrainer(std::unique_ptr<Sequential> model,
+                                         std::vector<int> stage_begin)
+    : stages_(Sequential::Split(std::move(model), stage_begin)) {}
+
+std::vector<Tensor*> SyncPipelineTrainer::Parameters() {
+  std::vector<Tensor*> params;
+  for (auto& stage : stages_) {
+    for (Tensor* p : stage->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+std::vector<Tensor*> SyncPipelineTrainer::Gradients() {
+  std::vector<Tensor*> grads;
+  for (auto& stage : stages_) {
+    for (Tensor* g : stage->Gradients()) {
+      grads.push_back(g);
+    }
+  }
+  return grads;
+}
+
+double SyncPipelineTrainer::ForwardBackward(const Batch& batch, int microbatch_size) {
+  const std::vector<Batch> microbatches = SplitIntoMicrobatches(batch, microbatch_size);
+  const int num_microbatches = static_cast<int>(microbatches.size());
+  const int num_stages = depth();
+  const Schedule schedule =
+      GenerateSchedule(ScheduleKind::kVaruna, num_stages, num_microbatches);
+  const float scale = 1.0f / static_cast<float>(num_microbatches);
+
+  // Per-(stage, microbatch) buffers. stash = the stage's input activation
+  // (kept for recompute); grad = gradient arriving from downstream.
+  std::vector<std::vector<Tensor>> stash(static_cast<size_t>(num_stages));
+  std::vector<std::vector<bool>> has_input(static_cast<size_t>(num_stages));
+  std::vector<std::vector<Tensor>> grad_in(static_cast<size_t>(num_stages));
+  std::vector<std::vector<bool>> has_grad(static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    stash[static_cast<size_t>(s)].resize(static_cast<size_t>(num_microbatches));
+    has_input[static_cast<size_t>(s)].assign(static_cast<size_t>(num_microbatches), false);
+    grad_in[static_cast<size_t>(s)].resize(static_cast<size_t>(num_microbatches));
+    has_grad[static_cast<size_t>(s)].assign(static_cast<size_t>(num_microbatches), false);
+  }
+  for (int m = 0; m < num_microbatches; ++m) {
+    stash[0][static_cast<size_t>(m)] = microbatches[static_cast<size_t>(m)].inputs;
+    has_input[0][static_cast<size_t>(m)] = true;
+  }
+  // Which micro-batch's forward state currently lives in each stage's layers.
+  std::vector<int> live_state(static_cast<size_t>(num_stages), -1);
+  std::vector<int> stash_count(static_cast<size_t>(num_stages), 0);
+  std::vector<SoftmaxCrossEntropy> losses(static_cast<size_t>(num_microbatches));
+  std::vector<Tensor> last_logits(static_cast<size_t>(num_microbatches));
+  double total_loss = 0.0;
+  peak_stash_slots_ = 0;
+
+  std::vector<size_t> cursor(static_cast<size_t>(num_stages), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (int s = 0; s < num_stages; ++s) {
+      Sequential& stage = *stages_[static_cast<size_t>(s)];
+      const bool last = s == num_stages - 1;
+      auto& ops = schedule.ops[static_cast<size_t>(s)];
+      while (cursor[static_cast<size_t>(s)] < ops.size()) {
+        const PipeOp& op = ops[cursor[static_cast<size_t>(s)]];
+        const size_t m = static_cast<size_t>(op.microbatch);
+        if (op.type == PipeOpType::kForward) {
+          if (!has_input[static_cast<size_t>(s)][m]) {
+            break;  // Activation not yet produced upstream.
+          }
+          ++stash_count[static_cast<size_t>(s)];
+          peak_stash_slots_ =
+              std::max(peak_stash_slots_, stash_count[static_cast<size_t>(s)]);
+          const Tensor out = stage.Forward(stash[static_cast<size_t>(s)][m]);
+          live_state[static_cast<size_t>(s)] = op.microbatch;
+          if (last) {
+            last_logits[m] = out;
+          } else {
+            stash[static_cast<size_t>(s) + 1][m] = out;
+            has_input[static_cast<size_t>(s) + 1][m] = true;
+          }
+        } else if (op.type == PipeOpType::kRecompute) {
+          // Restore the stage's internal activations from the stashed input —
+          // gradient checkpointing, exactly as on the GPU.
+          (void)stage.Forward(stash[static_cast<size_t>(s)][m]);
+          live_state[static_cast<size_t>(s)] = op.microbatch;
+        } else if (op.type == PipeOpType::kBackward) {
+          Tensor grad;
+          if (last) {
+            VARUNA_CHECK_EQ(live_state[static_cast<size_t>(s)], op.microbatch)
+                << "last stage must run backward on live activations (no recompute)";
+            total_loss += losses[m].Loss(last_logits[m],
+                                         microbatches[m].targets);
+            grad = losses[m].Backward();
+            grad.Scale(scale);
+          } else {
+            if (!has_grad[static_cast<size_t>(s)][m]) {
+              break;  // Gradient not yet produced downstream.
+            }
+            VARUNA_CHECK_EQ(live_state[static_cast<size_t>(s)], op.microbatch)
+                << "recompute must immediately precede backward (rule 2)";
+            grad = std::move(grad_in[static_cast<size_t>(s)][m]);
+          }
+          Tensor upstream = stage.Backward(grad);
+          live_state[static_cast<size_t>(s)] = -1;
+          --stash_count[static_cast<size_t>(s)];
+          stash[static_cast<size_t>(s)][m] = Tensor();  // Free the stash slot.
+          if (s > 0) {
+            grad_in[static_cast<size_t>(s) - 1][m] = std::move(upstream);
+            has_grad[static_cast<size_t>(s) - 1][m] = true;
+          }
+        }
+        ++cursor[static_cast<size_t>(s)];
+        progressed = true;
+      }
+    }
+  }
+  for (int s = 0; s < num_stages; ++s) {
+    VARUNA_CHECK_EQ(cursor[static_cast<size_t>(s)], schedule.ops[static_cast<size_t>(s)].size())
+        << "pipeline trainer deadlock at stage " << s;
+  }
+  return total_loss / static_cast<double>(num_microbatches);
+}
+
+double SyncPipelineTrainer::ClipByGlobalNorm(float max_norm, bool sync_across_stages) {
+  std::vector<double> stage_norms_sq;
+  for (auto& stage : stages_) {
+    double sum = 0.0;
+    for (Tensor* grad : stage->Gradients()) {
+      sum += grad->SquaredNorm();
+    }
+    stage_norms_sq.push_back(sum);
+  }
+  if (sync_across_stages) {
+    // The allreduce the tracer mandates: every stage sees the global norm.
+    double total = 0.0;
+    for (const double sq : stage_norms_sq) {
+      total += sq;
+    }
+    const double norm = std::sqrt(total);
+    if (norm > max_norm) {
+      const float factor = static_cast<float>(max_norm / norm);
+      for (auto& stage : stages_) {
+        for (Tensor* grad : stage->Gradients()) {
+          grad->Scale(factor);
+        }
+      }
+    }
+    return norm;
+  }
+  // Buggy unsynchronized variant: each stage clips against its local norm.
+  double max_seen = 0.0;
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const double norm = std::sqrt(stage_norms_sq[s]);
+    max_seen = std::max(max_seen, norm);
+    if (norm > max_norm) {
+      const float factor = static_cast<float>(max_norm / norm);
+      for (Tensor* grad : stages_[s]->Gradients()) {
+        grad->Scale(factor);
+      }
+    }
+  }
+  return max_seen;
+}
+
+Tensor SyncPipelineTrainer::Forward(const Tensor& inputs) {
+  Tensor x = inputs;
+  for (auto& stage : stages_) {
+    x = stage->Forward(x);
+  }
+  return x;
+}
+
+// --- StaleGradientTrainer ------------------------------------------------------
+
+StaleGradientTrainer::StaleGradientTrainer(std::unique_ptr<Sequential> model, int staleness,
+                                           float learning_rate, float momentum)
+    : model_(std::move(model)), staleness_(staleness) {
+  VARUNA_CHECK_GE(staleness, 0);
+  optimizer_ = std::make_unique<SgdOptimizer>(model_->Parameters(), model_->Gradients(),
+                                              learning_rate, momentum);
+}
+
+double StaleGradientTrainer::Step(const Batch& batch) {
+  optimizer_->ZeroGradients();
+  SoftmaxCrossEntropy loss;
+  const double value = loss.Loss(model_->Forward(batch.inputs), batch.targets);
+  model_->Backward(loss.Backward());
+
+  // Snapshot the fresh gradient; apply the one computed `staleness_` steps
+  // ago (in a P-deep pipeline, stage 0's gradient is that old by the time the
+  // asynchronous update reaches it).
+  std::vector<Tensor> snapshot;
+  for (Tensor* grad : model_->Gradients()) {
+    snapshot.push_back(*grad);
+  }
+  pending_.push_back(std::move(snapshot));
+  if (static_cast<int>(pending_.size()) > staleness_) {
+    const std::vector<Tensor> delayed = std::move(pending_.front());
+    pending_.pop_front();
+    std::vector<Tensor*> grads = model_->Gradients();
+    VARUNA_CHECK_EQ(grads.size(), delayed.size());
+    for (size_t i = 0; i < grads.size(); ++i) {
+      *grads[i] = delayed[i];
+    }
+    optimizer_->Step();
+  }
+  return value;
+}
+
+}  // namespace varuna

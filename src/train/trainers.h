@@ -1,0 +1,118 @@
+// Trainers that realise the paper's update semantics on real numerics:
+//  * ReferenceTrainer      — single-device micro-batched gradient accumulation
+//                            (ground truth for sync-SGD).
+//  * SyncPipelineTrainer   — executes the *generated Varuna schedule* over a
+//                            stage-partitioned model with input stashing and
+//                            recompute-before-backward; produces gradients
+//                            bit-identical to the reference (the
+//                            "correctness-preserving" claim, §4.2).
+//  * StaleGradientTrainer  — PipeDream-style asynchronous semantics: the
+//                            gradient applied at step t was computed
+//                            `staleness` steps earlier (staleness ~ pipeline
+//                            depth). Used for the Fig. 10 divergence study.
+#ifndef SRC_TRAIN_TRAINERS_H_
+#define SRC_TRAIN_TRAINERS_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/synthetic_task.h"
+#include "src/pipeline/schedule.h"
+
+namespace varuna {
+
+// Splits `batch` into consecutive micro-batches of `microbatch_size` rows.
+std::vector<Batch> SplitIntoMicrobatches(const Batch& batch, int microbatch_size);
+
+// Per-layer checkpoint payload (§4.5): parameter values in model order plus
+// optimizer state. Because parameters are checkpointed per layer, the payload
+// restores onto a trainer partitioned at a *different* pipeline depth, and
+// training continues on the exact same trajectory.
+struct ParameterCheckpoint {
+  std::vector<Tensor> parameters;
+  std::vector<Tensor> optimizer_state;
+};
+
+ParameterCheckpoint SnapshotParameters(const std::vector<Tensor*>& params,
+                                       const Optimizer& optimizer);
+void RestoreParameters(const ParameterCheckpoint& checkpoint,
+                       const std::vector<Tensor*>& params, Optimizer* optimizer);
+
+class ReferenceTrainer {
+ public:
+  explicit ReferenceTrainer(std::unique_ptr<Sequential> model);
+
+  // Forward+backward over the mini-batch in micro-batch accumulation order;
+  // gradients are left accumulated (scaled to the full-batch mean).
+  // Returns the mean loss.
+  double ForwardBackward(const Batch& batch, int microbatch_size);
+
+  Sequential* model() { return model_.get(); }
+  std::vector<Tensor*> Parameters() { return model_->Parameters(); }
+  std::vector<Tensor*> Gradients() { return model_->Gradients(); }
+
+ private:
+  std::unique_ptr<Sequential> model_;
+};
+
+class SyncPipelineTrainer {
+ public:
+  // `stage_begin` has depth+1 entries over the model's layers (cut-points).
+  SyncPipelineTrainer(std::unique_ptr<Sequential> model, std::vector<int> stage_begin);
+
+  // Executes one mini-batch following the Varuna schedule's per-stage op
+  // order (F/R/B per micro-batch), stashing stage inputs and recomputing
+  // before each backward. Gradients accumulate exactly as in the reference.
+  double ForwardBackward(const Batch& batch, int microbatch_size);
+
+  int depth() const { return static_cast<int>(stages_.size()); }
+  Sequential* stage(int s) { return stages_[static_cast<size_t>(s)].get(); }
+  std::vector<Tensor*> Parameters();
+  std::vector<Tensor*> Gradients();
+
+  // Peak number of simultaneously stashed stage-input tensors across stages
+  // during the last mini-batch (memory-model observability).
+  int peak_stash_slots() const { return peak_stash_slots_; }
+
+  // Global-norm gradient clipping (NVLAMB-style cross-partition state,
+  // §5.2). With `sync_across_stages` the squared norms are allreduced over
+  // the pipeline group before clipping — the tracer-mandated behaviour;
+  // without it each stage clips against its local norm (the bug the tracer
+  // prevents). Returns the norm used.
+  double ClipByGlobalNorm(float max_norm, bool sync_across_stages);
+
+  // Runs inference through all stages (for validation).
+  Tensor Forward(const Tensor& inputs);
+
+ private:
+  std::vector<std::unique_ptr<Sequential>> stages_;
+  int peak_stash_slots_ = 0;
+};
+
+class StaleGradientTrainer {
+ public:
+  // Applies each computed gradient `staleness` optimizer steps late. With
+  // staleness == 0 this is plain synchronous SGD.
+  StaleGradientTrainer(std::unique_ptr<Sequential> model, int staleness, float learning_rate,
+                       float momentum);
+
+  // One optimizer step on one batch; returns the loss at computation time.
+  double Step(const Batch& batch);
+
+  Sequential* model() { return model_.get(); }
+
+ private:
+  std::unique_ptr<Sequential> model_;
+  std::unique_ptr<SgdOptimizer> optimizer_;
+  int staleness_;
+  // Pending gradients, oldest first; each entry is a snapshot of all grads.
+  std::deque<std::vector<Tensor>> pending_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_TRAIN_TRAINERS_H_

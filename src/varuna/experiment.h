@@ -1,0 +1,60 @@
+// Shared experiment toolkit: evaluates a (system, model, cluster, P x D, m)
+// combination end-to-end on the DES testbed, with the memory model deciding
+// feasibility. All evaluation benches (Figures 5-7, Tables 3-6) go through
+// this single entry point so that every system is treated identically.
+#ifndef SRC_VARUNA_EXPERIMENT_H_
+#define SRC_VARUNA_EXPERIMENT_H_
+
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/vm.h"
+#include "src/model/transformer.h"
+#include "src/pipeline/executor.h"
+#include "src/pipeline/schedule.h"
+
+namespace varuna {
+
+// The pipeline systems compared in §7. PipeDream executes 1F1B-style but
+// stashes weight versions and full activations (its memory model), and runs
+// asynchronously — for throughput purposes we only need its memory verdict.
+enum class SystemUnderTest { kVaruna, kGpipe, kOneFOneB, kDeepSpeed, kPipeDreamAsync };
+
+std::string ToString(SystemUnderTest system);
+
+struct PipelineEvalRequest {
+  TransformerSpec spec;
+  SystemUnderTest system = SystemUnderTest::kVaruna;
+  int pipeline_depth = 1;
+  int data_parallel = 1;
+  int microbatch_size = 4;
+  double total_batch = 8192.0;
+  VmType vm = Nc6V3();
+  FabricSpec fabric = CommodityFabric();
+  bool cpu_offload_optimizer = false;
+  // Mini-batches to average over (testbed runs are noisy).
+  int runs = 3;
+  uint64_t seed = 1;
+  bool record_trace = false;  // Gantt of replica 0 (Figure 7).
+  // Scales cross-node bandwidth (Table 5's "1.5x / 2x slower net").
+  double network_slowdown = 1.0;
+};
+
+struct PipelineEvalResult {
+  bool feasible = false;      // False on OOM or too few cut-points.
+  std::string infeasible_reason;
+  int num_microbatches = 0;
+  double minibatch_s = 0.0;
+  double examples_per_s = 0.0;
+  double examples_per_s_per_gpu = 0.0;
+  // Useful TFLOP/s per GPU — recompute removed, as the paper reports.
+  double tflops_per_gpu = 0.0;
+  int gpus_used = 0;
+  MinibatchResult last_run;  // Includes the trace when requested.
+};
+
+PipelineEvalResult EvaluatePipeline(const PipelineEvalRequest& request);
+
+}  // namespace varuna
+
+#endif  // SRC_VARUNA_EXPERIMENT_H_

@@ -1,0 +1,44 @@
+// Umbrella header: the public Varuna API surface.
+//
+// Layered as in the paper:
+//   * model description & auto-partitioning .... src/model
+//   * pipeline schedules & execution ............ src/pipeline
+//   * auto-config (calibrate + simulate) ........ src/morph
+//   * elasticity (manager, checkpoints) ......... src/manager
+//   * baselines (intra-layer, data-parallel) .... src/parallel
+//   * simulated substrates ...................... src/sim, src/net, src/cluster
+//   * real-numerics training semantics .......... src/tensor, src/nn, src/train
+#ifndef SRC_VARUNA_VARUNA_H_
+#define SRC_VARUNA_VARUNA_H_
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/fail_stutter.h"
+#include "src/cluster/placement.h"
+#include "src/cluster/spot_market.h"
+#include "src/cluster/vm.h"
+#include "src/common/gantt.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/manager/checkpoint.h"
+#include "src/manager/elastic_trainer.h"
+#include "src/model/cutpoints.h"
+#include "src/model/op_graph.h"
+#include "src/model/tracer.h"
+#include "src/model/transformer.h"
+#include "src/morph/calibration.h"
+#include "src/morph/config_search.h"
+#include "src/morph/fast_sim.h"
+#include "src/parallel/data_parallel.h"
+#include "src/parallel/intra_layer.h"
+#include "src/pipeline/executor.h"
+#include "src/pipeline/memory.h"
+#include "src/pipeline/schedule.h"
+#include "src/pipeline/stage_timing.h"
+#include "src/sim/engine.h"
+#include "src/train/trainers.h"
+#include "src/varuna/experiment.h"
+
+#endif  // SRC_VARUNA_VARUNA_H_

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/varuna/experiment.h"
+#include "src/varuna/varuna.h"
+
+namespace varuna {
+namespace {
+
+PipelineEvalRequest BaseRequest(TransformerSpec spec, SystemUnderTest system, int depth,
+                                int replicas) {
+  PipelineEvalRequest request;
+  request.spec = std::move(spec);
+  request.system = system;
+  request.pipeline_depth = depth;
+  request.data_parallel = replicas;
+  request.microbatch_size = 4;
+  request.total_batch = 2400;
+  request.runs = 2;
+  return request;
+}
+
+TEST(ExperimentTest, VarunaFeasibleBaseline) {
+  const auto result =
+      EvaluatePipeline(BaseRequest(Gpt2_2_5B(), SystemUnderTest::kVaruna, 9, 4));
+  ASSERT_TRUE(result.feasible) << result.infeasible_reason;
+  EXPECT_GT(result.examples_per_s_per_gpu, 0.5);
+  EXPECT_LT(result.examples_per_s_per_gpu, 5.0);
+  EXPECT_GT(result.tflops_per_gpu, 5.0);
+  EXPECT_EQ(result.gpus_used, 36);
+  EXPECT_EQ(result.num_microbatches, 150);
+}
+
+TEST(ExperimentTest, PipeDreamOomsOnMassiveModels) {
+  const auto big =
+      EvaluatePipeline(BaseRequest(Gpt2_8_3B(), SystemUnderTest::kPipeDreamAsync, 18, 4));
+  EXPECT_FALSE(big.feasible);
+  EXPECT_NE(big.infeasible_reason.find("OOM"), std::string::npos);
+  const auto medium =
+      EvaluatePipeline(BaseRequest(Gpt2_2_5B(), SystemUnderTest::kPipeDreamAsync, 9, 8));
+  EXPECT_FALSE(medium.feasible);
+}
+
+TEST(ExperimentTest, ShallowDepthOomsForBigModel) {
+  const auto result =
+      EvaluatePipeline(BaseRequest(Gpt2_8_3B(), SystemUnderTest::kVaruna, 4, 1));
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NE(result.infeasible_reason.find("OOM"), std::string::npos);
+}
+
+TEST(ExperimentTest, Table6Ordering) {
+  // Varuna > Megatron-1F1B > DeepSpeed under commodity jitter; PipeDream OOM.
+  const auto varuna =
+      EvaluatePipeline(BaseRequest(Gpt2_2_5B(), SystemUnderTest::kVaruna, 9, 8));
+  const auto one_f_one_b =
+      EvaluatePipeline(BaseRequest(Gpt2_2_5B(), SystemUnderTest::kOneFOneB, 9, 8));
+  const auto deepspeed =
+      EvaluatePipeline(BaseRequest(Gpt2_2_5B(), SystemUnderTest::kDeepSpeed, 9, 8));
+  ASSERT_TRUE(varuna.feasible);
+  ASSERT_TRUE(one_f_one_b.feasible);
+  ASSERT_TRUE(deepspeed.feasible);
+  EXPECT_GT(varuna.examples_per_s_per_gpu, one_f_one_b.examples_per_s_per_gpu);
+  EXPECT_GT(one_f_one_b.examples_per_s_per_gpu, deepspeed.examples_per_s_per_gpu);
+  // Gaps in the paper's range: Varuna leads 1F1B by ~10-30%.
+  const double lead = varuna.examples_per_s_per_gpu / one_f_one_b.examples_per_s_per_gpu;
+  EXPECT_GT(lead, 1.05);
+  EXPECT_LT(lead, 1.6);
+}
+
+TEST(ExperimentTest, NetworkSlowdownHurtsGpipeMoreThanVaruna) {
+  // Table 5's degradation sweep.
+  auto eval = [&](SystemUnderTest system, double slowdown) {
+    PipelineEvalRequest request = BaseRequest(Gpt2_2_5B(), system, 9, 2);
+    request.network_slowdown = slowdown;
+    return EvaluatePipeline(request).examples_per_s_per_gpu;
+  };
+  const double varuna_drop = eval(SystemUnderTest::kVaruna, 1.0) /
+                             eval(SystemUnderTest::kVaruna, 2.0);
+  const double gpipe_drop =
+      eval(SystemUnderTest::kGpipe, 1.0) / eval(SystemUnderTest::kGpipe, 2.0);
+  EXPECT_LT(varuna_drop, gpipe_drop);
+  EXPECT_LT(varuna_drop, 1.10);  // Varuna nearly flat.
+}
+
+TEST(ExperimentTest, HyperclusterBeatsCommodityAtEqualConfig) {
+  PipelineEvalRequest commodity = BaseRequest(Gpt2_8_3B(), SystemUnderTest::kVaruna, 18, 4);
+  commodity.total_batch = 8192;
+  PipelineEvalRequest hyper = commodity;
+  hyper.vm = Dgx2();
+  hyper.fabric = HyperclusterFabric();
+  const auto lp = EvaluatePipeline(commodity);
+  const auto hc = EvaluatePipeline(hyper);
+  ASSERT_TRUE(lp.feasible);
+  ASSERT_TRUE(hc.feasible);
+  EXPECT_GT(hc.examples_per_s_per_gpu, lp.examples_per_s_per_gpu);
+}
+
+TEST(ExperimentTest, CpuOffloadEnables200B) {
+  PipelineEvalRequest request = BaseRequest(Gpt2_200B(), SystemUnderTest::kVaruna, 100, 1);
+  request.microbatch_size = 1;
+  request.total_batch = 512;
+  request.runs = 1;
+  request.cpu_offload_optimizer = false;
+  EXPECT_FALSE(EvaluatePipeline(request).feasible);
+  request.cpu_offload_optimizer = true;
+  const auto result = EvaluatePipeline(request);
+  ASSERT_TRUE(result.feasible) << result.infeasible_reason;
+  // Paper: 0.022 ex/s/GPU, 27.3 TFlops/s/GPU.
+  EXPECT_NEAR(result.examples_per_s_per_gpu, 0.022, 0.008);
+  EXPECT_NEAR(result.tflops_per_gpu, 27.3, 8.0);
+}
+
+TEST(ExperimentTest, SystemNames) {
+  EXPECT_EQ(ToString(SystemUnderTest::kVaruna), "Varuna");
+  EXPECT_EQ(ToString(SystemUnderTest::kPipeDreamAsync), "PipeDream");
+}
+
+}  // namespace
+}  // namespace varuna

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/model/cutpoints.h"
+#include "src/model/op_graph.h"
+#include "src/pipeline/memory.h"
+
+namespace varuna {
+namespace {
+
+MemoryBudget V100Budget() {
+  MemoryBudget budget;
+  budget.gpu_memory_bytes = 16.0 * kGiB;
+  return budget;
+}
+
+MemoryModelInputs InputsFor(const TransformerSpec& spec, int depth, int stage, int m, int nm) {
+  MemoryModelInputs inputs;
+  inputs.stage_params = spec.TotalParams() / depth;
+  inputs.input_activation_bytes_per_example = spec.BoundaryActivationBytes();
+  inputs.full_activation_bytes_per_example =
+      BlockFullActivationBytes(spec) * spec.num_layers / depth;
+  inputs.microbatch_size = m;
+  inputs.num_microbatches = nm;
+  inputs.pipeline_depth = depth;
+  inputs.stage_index = stage;
+  return inputs;
+}
+
+TEST(MemoryTest, SixteenBytesPerParameter) {
+  MemoryModelInputs inputs;
+  inputs.stage_params = 1e9;
+  const auto estimate = EstimateStageMemory(ScheduleKind::kVaruna, inputs);
+  EXPECT_DOUBLE_EQ(estimate.parameter_state_bytes, 16e9);
+}
+
+TEST(MemoryTest, CpuOffloadShrinksResidentState) {
+  MemoryModelInputs inputs;
+  inputs.stage_params = 1e9;
+  inputs.cpu_offload_optimizer = true;
+  const auto estimate = EstimateStageMemory(ScheduleKind::kVaruna, inputs);
+  EXPECT_DOUBLE_EQ(estimate.parameter_state_bytes, 4e9);
+}
+
+TEST(MemoryTest, Gpt2_8_3B_FitsAt18StagesNotAt4) {
+  const TransformerSpec spec = Gpt2_8_3B();
+  const auto fits_18 =
+      EstimateStageMemory(ScheduleKind::kVaruna, InputsFor(spec, 18, 1, 4, 32));
+  EXPECT_TRUE(Fits(fits_18, V100Budget()));
+  const auto fits_4 = EstimateStageMemory(ScheduleKind::kVaruna, InputsFor(spec, 4, 1, 4, 32));
+  EXPECT_FALSE(Fits(fits_4, V100Budget()));
+}
+
+TEST(MemoryTest, PipeDreamWeightVersionsExplode) {
+  // Table 6: PipeDream OOMs on the 8.3B model at depth 18 because stage 0
+  // stashes up to P weight versions.
+  const TransformerSpec spec = Gpt2_8_3B();
+  const auto varuna =
+      EstimateStageMemory(ScheduleKind::kVaruna, InputsFor(spec, 18, 0, 4, 32));
+  const auto pipedream = EstimatePipeDreamStageMemory(InputsFor(spec, 18, 0, 4, 32));
+  EXPECT_TRUE(Fits(varuna, V100Budget()));
+  EXPECT_FALSE(Fits(pipedream, V100Budget()));
+  EXPECT_GT(pipedream.weight_versions_bytes, 10e9);
+}
+
+TEST(MemoryTest, PipeDream2_5BAlsoOoms) {
+  const TransformerSpec spec = Gpt2_2_5B();
+  const auto pipedream = EstimatePipeDreamStageMemory(InputsFor(spec, 9, 0, 4, 32));
+  EXPECT_FALSE(Fits(pipedream, V100Budget()));
+}
+
+TEST(MemoryTest, OneFOneBStashBoundedByDepth) {
+  const TransformerSpec spec = Gpt2_2_5B();
+  const auto estimate =
+      EstimateStageMemory(ScheduleKind::kOneFOneB, InputsFor(spec, 9, 0, 4, 64));
+  const auto varuna = EstimateStageMemory(ScheduleKind::kVaruna, InputsFor(spec, 9, 0, 4, 64));
+  // 1F1B keeps at most P in-flight input stashes; GPipe-style keeps Nm.
+  EXPECT_LT(estimate.input_stash_bytes, varuna.input_stash_bytes);
+}
+
+TEST(MemoryTest, MinFittingDepthReasonable) {
+  const TransformerSpec spec = Gpt2_8_3B();
+  const OpGraph graph = BuildTransformerOpGraph(spec);
+  const auto sections = IdentifyCutPoints(graph, spec.num_layers);
+  ASSERT_TRUE(sections.ok());
+  const auto depth = MinFittingDepth(ScheduleKind::kVaruna, spec, sections.value(), 4, 32,
+                                     V100Budget());
+  ASSERT_TRUE(depth.ok());
+  EXPECT_GE(depth.value(), 10);
+  EXPECT_LE(depth.value(), 24);
+}
+
+TEST(MemoryTest, MinFittingDepthSmallModelIsOne) {
+  const TransformerSpec spec = BertLarge();
+  const OpGraph graph = BuildTransformerOpGraph(spec);
+  const auto sections = IdentifyCutPoints(graph, spec.num_layers);
+  ASSERT_TRUE(sections.ok());
+  const auto depth =
+      MinFittingDepth(ScheduleKind::kVaruna, spec, sections.value(), 8, 16, V100Budget());
+  ASSERT_TRUE(depth.ok());
+  EXPECT_EQ(depth.value(), 1);
+}
+
+TEST(MemoryTest, HugeModelCanNeedCpuOffload) {
+  // 200B with 100 layers: without offload even depth = num_layers may not fit;
+  // with CPU-offloaded optimizer state it does (§7.1.1).
+  const TransformerSpec spec = Gpt2_200B();
+  const OpGraph graph = BuildTransformerOpGraph(spec);
+  const auto sections = IdentifyCutPoints(graph, spec.num_layers);
+  ASSERT_TRUE(sections.ok());
+  const auto with_offload = MinFittingDepth(ScheduleKind::kVaruna, spec, sections.value(), 1,
+                                            512, V100Budget(), /*cpu_offload_optimizer=*/true);
+  ASSERT_TRUE(with_offload.ok());
+  EXPECT_LE(with_offload.value(), 100);
+  const auto without = MinFittingDepth(ScheduleKind::kVaruna, spec, sections.value(), 1, 512,
+                                       V100Budget(), /*cpu_offload_optimizer=*/false);
+  if (without.ok()) {
+    EXPECT_GE(without.value(), with_offload.value());
+  }
+}
+
+}  // namespace
+}  // namespace varuna

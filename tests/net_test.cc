@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "src/cluster/vm.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+
+namespace varuna {
+namespace {
+
+Topology TwoNodeTopology(int gpus_per_node) {
+  FabricSpec fabric;
+  fabric.per_flow_bandwidth_bps = GbpsToBytesPerSec(5.0);
+  fabric.base_latency_s = 300e-6;
+  Topology topology(fabric);
+  NodeSpec node;
+  node.num_gpus = gpus_per_node;
+  node.intra_bandwidth_bps = GbpsToBytesPerSec(96.0);
+  node.intra_latency_s = 10e-6;
+  node.nic_bandwidth_bps = GbpsToBytesPerSec(10.0);
+  topology.AddNode(node);
+  topology.AddNode(node);
+  return topology;
+}
+
+TEST(TopologyTest, GpuToNodeMapping) {
+  Topology topology = TwoNodeTopology(4);
+  EXPECT_EQ(topology.num_nodes(), 2);
+  EXPECT_EQ(topology.num_gpus(), 8);
+  EXPECT_EQ(topology.NodeOf(0), 0);
+  EXPECT_EQ(topology.NodeOf(3), 0);
+  EXPECT_EQ(topology.NodeOf(4), 1);
+  EXPECT_TRUE(topology.SameNode(0, 3));
+  EXPECT_FALSE(topology.SameNode(3, 4));
+  EXPECT_EQ(topology.GpusOfNode(1), (std::vector<GpuId>{4, 5, 6, 7}));
+}
+
+TEST(NetworkTest, IntraNodeUsesFastLink) {
+  Topology topology = TwoNodeTopology(4);
+  Network network(&topology);
+  const double intra = network.MeanTransferTime(0, 1, 1e9, 1);
+  const double inter = network.MeanTransferTime(0, 4, 1e9, 1);
+  EXPECT_LT(intra, inter);
+  // 1 GB over 12 GB/s PCIe ~= 83 ms.
+  EXPECT_NEAR(intra, 1e9 / GbpsToBytesPerSec(96.0) + 10e-6, 1e-3);
+  // Cross-node is capped by the 5 Gbps fabric, not the 10 Gbps NIC.
+  EXPECT_NEAR(inter, 1e9 / GbpsToBytesPerSec(5.0) + 300e-6, 1e-2);
+}
+
+TEST(NetworkTest, ConcurrentFlowsShareNic) {
+  Topology topology = TwoNodeTopology(4);
+  Network network(&topology);
+  // With 4 flows the NIC share (10/4 = 2.5 Gbps) is below the fabric cap.
+  const double shared = network.FlowBandwidth(0, 4, 4);
+  EXPECT_NEAR(shared, GbpsToBytesPerSec(2.5), 1.0);
+  EXPECT_LT(shared, network.FlowBandwidth(0, 4, 1));
+}
+
+TEST(NetworkTest, SelfTransferIsFree) {
+  Topology topology = TwoNodeTopology(4);
+  Network network(&topology);
+  EXPECT_DOUBLE_EQ(network.MeanTransferTime(2, 2, 1e9, 1), 0.0);
+}
+
+TEST(NetworkTest, JitterSamplesCenterOnBaseLatency) {
+  Topology topology(CommodityFabric());
+  NodeSpec node = Nc6V3().node;
+  topology.AddNode(node);
+  topology.AddNode(node);
+  Network network(&topology);
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) {
+    samples.push_back(network.SampleTransferTime(0, 1, 0.0, 1, &rng));
+  }
+  // Median of log-normal jitter is the base latency; tail stalls push p99 up.
+  EXPECT_NEAR(Percentile(samples, 0.5), CommodityFabric().base_latency_s, 50e-6);
+  EXPECT_GT(Percentile(samples, 0.995), 2.0 * CommodityFabric().base_latency_s);
+}
+
+TEST(NetworkTest, AllReduceSingleMemberIsFree) {
+  Topology topology = TwoNodeTopology(1);
+  Network network(&topology);
+  EXPECT_DOUBLE_EQ(network.MeanAllReduceTime({0}, 1e9, 1), 0.0);
+}
+
+TEST(NetworkTest, AllReduceScalesWithRingSteps) {
+  // Ring allreduce: 2(D-1) steps of S/D bytes -> total ~ 2S(D-1)/D / bw.
+  FabricSpec fabric;
+  fabric.per_flow_bandwidth_bps = 1e9;
+  fabric.base_latency_s = 0.0;
+  Topology topology(fabric);
+  NodeSpec node;
+  node.num_gpus = 1;
+  node.intra_bandwidth_bps = 1e12;
+  node.nic_bandwidth_bps = 1e9;
+  for (int i = 0; i < 8; ++i) {
+    topology.AddNode(node);
+  }
+  Network network(&topology);
+  const double bytes = 8e9;
+  const double d4 = network.MeanAllReduceTime({0, 1, 2, 3}, bytes, 1);
+  const double d8 = network.MeanAllReduceTime({0, 1, 2, 3, 4, 5, 6, 7}, bytes, 1);
+  EXPECT_NEAR(d4, 2.0 * 3.0 * (bytes / 4.0 / 1e9), 1e-6);
+  EXPECT_NEAR(d8, 2.0 * 7.0 * (bytes / 8.0 / 1e9), 1e-6);
+  // Asymptotically bandwidth-optimal: time approaches 2S/bw from below.
+  EXPECT_LT(d4, 2.0 * bytes / 1e9);
+  EXPECT_LT(d8, 2.0 * bytes / 1e9);
+  EXPECT_GT(d8, d4);
+}
+
+TEST(NetworkTest, AllReduceSlowestHopDominates) {
+  Topology topology = TwoNodeTopology(4);
+  Network network(&topology);
+  // Ring within one node vs ring spanning nodes.
+  const double intra_ring = network.MeanAllReduceTime({0, 1, 2, 3}, 1e9, 1);
+  const double inter_ring = network.MeanAllReduceTime({0, 1, 4, 5}, 1e9, 1);
+  EXPECT_LT(intra_ring, inter_ring);
+}
+
+TEST(NetworkTest, RingTailAmplifiesWithSize) {
+  // Observation 2's mechanism: every ring step waits on the slowest of D
+  // concurrent hops, so the per-step latency share of the total grows with D
+  // on a stall-prone fabric.
+  Topology topology(CommodityFabric());
+  NodeSpec node = Nc6V3().node;
+  for (int i = 0; i < 32; ++i) {
+    topology.AddNode(node);
+  }
+  Network network(&topology);
+  auto per_step_latency = [&](int d) {
+    std::vector<GpuId> ring;
+    for (int i = 0; i < d; ++i) {
+      ring.push_back(i);
+    }
+    const double bytes = 1e6;  // Small payload: latency-dominated.
+    return network.MeanAllReduceTime(ring, bytes, 1) / (2.0 * (d - 1));
+  };
+  EXPECT_GT(per_step_latency(16), 2.0 * per_step_latency(2));
+  EXPECT_GT(per_step_latency(32), per_step_latency(16));
+}
+
+TEST(NetworkTest, SampledAllReduceNearMean) {
+  Topology topology(CommodityFabric());
+  NodeSpec node = Nc6V3().node;
+  for (int i = 0; i < 8; ++i) {
+    topology.AddNode(node);
+  }
+  Network network(&topology);
+  std::vector<GpuId> ring = {0, 1, 2, 3, 4, 5, 6, 7};
+  const double bytes = 500e6;
+  const double mean = network.MeanAllReduceTime(ring, bytes, 1);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 300; ++i) {
+    stats.Add(network.SampleAllReduceTime(ring, bytes, 1, &rng));
+  }
+  EXPECT_NEAR(stats.mean() / mean, 1.0, 0.15);
+}
+
+TEST(NetworkTest, IntraNodeRingHasNoTail) {
+  // NVLink rings inside a DGX-2 see no fabric stalls.
+  Topology topology(CommodityFabric());
+  topology.AddNode(Dgx2().node);
+  Network network(&topology);
+  std::vector<GpuId> ring = {0, 1, 2, 3};
+  Rng rng(5);
+  const double a = network.SampleAllReduceTime(ring, 100e6, 1, &rng);
+  const double b = network.SampleAllReduceTime(ring, 100e6, 1, &rng);
+  EXPECT_DOUBLE_EQ(a, b);  // Deterministic: no jitter on NVLink hops.
+}
+
+TEST(NetworkTest, HyperclusterFasterThanCommodity) {
+  Topology commodity(CommodityFabric());
+  commodity.AddNode(Nc24V3().node);
+  commodity.AddNode(Nc24V3().node);
+  Network commodity_net(&commodity);
+
+  Topology hyper(HyperclusterFabric());
+  hyper.AddNode(Dgx2().node);
+  hyper.AddNode(Dgx2().node);
+  Network hyper_net(&hyper);
+
+  const double bytes = 100e6;
+  EXPECT_LT(hyper_net.MeanTransferTime(0, 16, bytes, 1),
+            commodity_net.MeanTransferTime(0, 4, bytes, 1) / 10.0);
+}
+
+}  // namespace
+}  // namespace varuna

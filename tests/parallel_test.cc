@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/vm.h"
+#include "src/parallel/data_parallel.h"
+#include "src/parallel/intra_layer.h"
+
+namespace varuna {
+namespace {
+
+TEST(IntraLayerTest, CommodityNetworkCollapses) {
+  // Observation 1: on 10 Gbps Ethernet the synchronous per-layer allreduces
+  // dominate; Megatron is an order of magnitude slower than on NVLink.
+  Cluster commodity(CommodityFabric());
+  commodity.AddVms(Nc24V3(), 16);  // 64 GPUs.
+  Cluster hyper(HyperclusterFabric());
+  hyper.AddVms(Dgx2(), 4);  // 64 GPUs.
+
+  IntraLayerConfig config;
+  config.tensor_parallel = 8;
+  config.data_parallel = 8;
+  config.microbatch_size = 8;
+  config.total_batch = 8192;
+
+  const auto on_commodity = EvaluateIntraLayer(Gpt2_8_3B(), commodity, config);
+  IntraLayerConfig hyper_config = config;
+  hyper_config.tensor_parallel = 16;  // Fits within one DGX-2.
+  hyper_config.data_parallel = 4;
+  const auto on_hyper = EvaluateIntraLayer(Gpt2_8_3B(), hyper, hyper_config);
+  ASSERT_TRUE(on_commodity.ok());
+  ASSERT_TRUE(on_hyper.ok());
+  EXPECT_GT(on_hyper.value().examples_per_s_per_gpu,
+            8.0 * on_commodity.value().examples_per_s_per_gpu);
+  // Communication dominates compute on commodity.
+  EXPECT_GT(on_commodity.value().tensor_comm_s, 3.0 * on_commodity.value().compute_s);
+}
+
+TEST(IntraLayerTest, MemoryNeedsEnoughShards) {
+  Cluster hyper(HyperclusterFabric());
+  hyper.AddVms(Dgx2(), 2);
+  IntraLayerConfig config;
+  config.tensor_parallel = 2;
+  config.data_parallel = 1;
+  config.microbatch_size = 4;
+  config.total_batch = 512;
+  const auto too_few = EvaluateIntraLayer(Gpt2_8_3B(), hyper, config);
+  ASSERT_TRUE(too_few.ok());
+  EXPECT_FALSE(too_few.value().fits_memory);
+  config.tensor_parallel = 16;
+  const auto enough = EvaluateIntraLayer(Gpt2_8_3B(), hyper, config);
+  ASSERT_TRUE(enough.ok());
+  EXPECT_TRUE(enough.value().fits_memory);
+}
+
+TEST(IntraLayerTest, CrossNodeShardingCliff) {
+  // Table 4: forcing Megatron past a single DGX-2 (18-way for the 20B model)
+  // drops performance by ~10x versus 16-way within the node.
+  Cluster hyper(HyperclusterFabric());
+  hyper.AddVms(Dgx2(), 18);
+  IntraLayerConfig config16;
+  config16.tensor_parallel = 16;
+  config16.data_parallel = 16;
+  config16.microbatch_size = 4;
+  config16.total_batch = 8192;
+  IntraLayerConfig config18 = config16;
+  config18.tensor_parallel = 18;
+  config18.data_parallel = 14;
+  const auto within = EvaluateIntraLayer(Gpt2_20B(), hyper, config16);
+  const auto across = EvaluateIntraLayer(Gpt2_20B(), hyper, config18);
+  ASSERT_TRUE(within.ok());
+  ASSERT_TRUE(across.ok());
+  EXPECT_GT(within.value().examples_per_s_per_gpu,
+            4.0 * across.value().examples_per_s_per_gpu);
+}
+
+TEST(IntraLayerTest, RejectsOversizedConfig) {
+  Cluster cluster(CommodityFabric());
+  cluster.AddVms(Nc6V3(), 4);
+  IntraLayerConfig config;
+  config.tensor_parallel = 8;
+  config.data_parallel = 1;
+  config.microbatch_size = 1;
+  config.total_batch = 64;
+  EXPECT_FALSE(EvaluateIntraLayer(Gpt2_2_5B(), cluster, config).ok());
+}
+
+TEST(DataParallelTest, BertLargeFitsSingleGpu) {
+  Cluster cluster(CommodityFabric());
+  cluster.AddVms(Nc24V3(), 8);  // 32 GPUs.
+  DataParallelConfig config;
+  config.replicas = 32;
+  config.microbatch_size = 8;
+  config.total_batch = 32768;
+  config.gradient_checkpointing = true;
+  const auto result = EvaluateDataParallel(BertLarge(), cluster, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().fits_memory);
+  EXPECT_GT(result.value().examples_per_s, 0.0);
+}
+
+TEST(DataParallelTest, MassiveModelDoesNotFit) {
+  Cluster cluster(CommodityFabric());
+  cluster.AddVms(Nc6V3(), 2);
+  DataParallelConfig config;
+  config.replicas = 2;
+  config.microbatch_size = 1;
+  config.total_batch = 512;
+  const auto result = EvaluateDataParallel(Gpt2_2_5B(), cluster, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().fits_memory);
+}
+
+TEST(DataParallelTest, AllreduceCostGrowsWithModel) {
+  Cluster cluster(CommodityFabric());
+  cluster.AddVms(Nc6V3(), 8);
+  DataParallelConfig config;
+  config.replicas = 8;
+  config.microbatch_size = 8;
+  config.total_batch = 4096;
+  const auto small = EvaluateDataParallel(Gpt2Medium(), cluster, config);
+  const auto large = EvaluateDataParallel(BertLarge(), cluster, config);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small.value().allreduce_s, 0.0);
+}
+
+}  // namespace
+}  // namespace varuna

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/pipeline/schedule.h"
+
+namespace varuna {
+namespace {
+
+// Counts ops of a type for one stage.
+int Count(const Schedule& schedule, int stage, PipeOpType type) {
+  int count = 0;
+  for (const PipeOp& op : schedule.ops[static_cast<size_t>(stage)]) {
+    count += op.type == type;
+  }
+  return count;
+}
+
+// Validates the universal invariants every synchronous schedule must satisfy.
+void CheckScheduleInvariants(const Schedule& schedule) {
+  for (int s = 0; s < schedule.depth; ++s) {
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    std::set<int> forwards;
+    std::set<int> backwards;
+    std::set<int> recomputes;
+    int last_forward = -1;
+    for (const PipeOp& op : ops) {
+      switch (op.type) {
+        case PipeOpType::kForward:
+          // Forwards strictly in micro-batch order.
+          EXPECT_GT(op.microbatch, last_forward) << "stage " << s;
+          last_forward = op.microbatch;
+          EXPECT_TRUE(forwards.insert(op.microbatch).second);
+          break;
+        case PipeOpType::kRecompute:
+          // Recompute only after this stage's own forward, before backward.
+          EXPECT_TRUE(forwards.count(op.microbatch)) << "stage " << s;
+          EXPECT_FALSE(backwards.count(op.microbatch)) << "stage " << s;
+          EXPECT_TRUE(recomputes.insert(op.microbatch).second);
+          break;
+        case PipeOpType::kBackward:
+          EXPECT_TRUE(forwards.count(op.microbatch)) << "stage " << s;
+          EXPECT_TRUE(backwards.insert(op.microbatch).second);
+          break;
+        case PipeOpType::kIdleForward:
+        case PipeOpType::kIdleBackward:
+          break;
+      }
+    }
+    // Every micro-batch forwarded and backwarded exactly once.
+    EXPECT_EQ(static_cast<int>(forwards.size()), schedule.num_microbatches) << "stage " << s;
+    EXPECT_EQ(static_cast<int>(backwards.size()), schedule.num_microbatches) << "stage " << s;
+  }
+}
+
+class AllSchedulesTest : public ::testing::TestWithParam<ScheduleKind> {};
+
+TEST_P(AllSchedulesTest, InvariantsHold) {
+  for (const int depth : {1, 2, 4, 8}) {
+    for (const int microbatches : {1, 3, 5, 16}) {
+      const Schedule schedule = GenerateSchedule(GetParam(), depth, microbatches);
+      EXPECT_EQ(schedule.depth, depth);
+      EXPECT_EQ(schedule.num_microbatches, microbatches);
+      CheckScheduleInvariants(schedule);
+    }
+  }
+}
+
+TEST_P(AllSchedulesTest, ExecutableWithoutDeadlock) {
+  for (const int depth : {2, 4, 6}) {
+    for (const int microbatches : {2, 5, 12}) {
+      const Schedule schedule = GenerateSchedule(GetParam(), depth, microbatches);
+      // ScheduleMakespanUnits CHECK-fails on deadlock.
+      EXPECT_GT(ScheduleMakespanUnits(schedule), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllSchedulesTest,
+                         ::testing::Values(ScheduleKind::kVaruna, ScheduleKind::kGpipe,
+                                           ScheduleKind::kOneFOneB, ScheduleKind::kDeepSpeed),
+                         [](const ::testing::TestParamInfo<ScheduleKind>& info) {
+                           return ToString(info.param);
+                         });
+
+TEST(VarunaScheduleTest, LastStageNeverRecomputes) {
+  for (const int depth : {2, 4, 8}) {
+    const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, depth, 8);
+    EXPECT_EQ(Count(schedule, depth - 1, PipeOpType::kRecompute), 0);
+  }
+}
+
+TEST(VarunaScheduleTest, LastStageAlternatesForwardBackward) {
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 4, 5);
+  const auto& ops = schedule.ops[3];
+  ASSERT_EQ(ops.size(), 10u);
+  for (int m = 0; m < 5; ++m) {
+    EXPECT_EQ(ops[static_cast<size_t>(2 * m)], (PipeOp{PipeOpType::kForward, m}));
+    EXPECT_EQ(ops[static_cast<size_t>(2 * m) + 1], (PipeOp{PipeOpType::kBackward, m}));
+  }
+}
+
+TEST(VarunaScheduleTest, NonLastStagesRecomputeEveryMicrobatch) {
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 4, 5);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(Count(schedule, s, PipeOpType::kRecompute), 5);
+  }
+}
+
+TEST(VarunaScheduleTest, RecomputeImmediatelyPrecedesBackward) {
+  // Rule 2: after R(m), the next op must be B(m).
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 6, 12);
+  for (int s = 0; s < schedule.depth - 1; ++s) {
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].type == PipeOpType::kRecompute) {
+        ASSERT_LT(i + 1, ops.size());
+        EXPECT_EQ(ops[i + 1].type, PipeOpType::kBackward);
+        EXPECT_EQ(ops[i + 1].microbatch, ops[i].microbatch);
+      }
+    }
+  }
+}
+
+TEST(VarunaScheduleTest, BeatsGpipeMakespanFigure4) {
+  // Figure 4: 4 stages, 5 micro-batches — "Varuna ... uses 1 less time unit".
+  const double varuna = ScheduleMakespanUnits(GenerateSchedule(ScheduleKind::kVaruna, 4, 5));
+  const double gpipe = ScheduleMakespanUnits(GenerateSchedule(ScheduleKind::kGpipe, 4, 5));
+  EXPECT_LT(varuna, gpipe);
+}
+
+TEST(VarunaScheduleTest, NeverWorseThanGpipeAcrossConfigs) {
+  for (const int depth : {2, 4, 8}) {
+    for (const int microbatches : {4, 8, 24}) {
+      const double varuna =
+          ScheduleMakespanUnits(GenerateSchedule(ScheduleKind::kVaruna, depth, microbatches));
+      const double gpipe =
+          ScheduleMakespanUnits(GenerateSchedule(ScheduleKind::kGpipe, depth, microbatches));
+      EXPECT_LE(varuna, gpipe + 1e-9) << depth << "x" << microbatches;
+    }
+  }
+}
+
+TEST(VarunaScheduleTest, InterspersedForwards) {
+  // Unlike GPipe, interior stages interleave forwards with backward work
+  // (the property that enables opportunistic scheduling under jitter).
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 4, 5);
+  const auto& ops = schedule.ops[2];  // Stage 3 of 4 in Figure 4.
+  bool seen_backward = false;
+  bool forward_after_backward = false;
+  for (const PipeOp& op : ops) {
+    seen_backward |= op.type == PipeOpType::kBackward;
+    forward_after_backward |= seen_backward && op.type == PipeOpType::kForward;
+  }
+  EXPECT_TRUE(forward_after_backward);
+}
+
+TEST(GpipeScheduleTest, AllForwardsBeforeBackwards) {
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kGpipe, 4, 5);
+  for (int s = 0; s < 4; ++s) {
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    for (int m = 0; m < 5; ++m) {
+      EXPECT_EQ(ops[static_cast<size_t>(m)], (PipeOp{PipeOpType::kForward, m}));
+    }
+    // Backwards run in reverse order; latest micro-batch skips recompute.
+    EXPECT_EQ(ops[5], (PipeOp{PipeOpType::kBackward, 4}));
+    EXPECT_EQ(ops[6], (PipeOp{PipeOpType::kRecompute, 3}));
+  }
+}
+
+TEST(OneFOneBScheduleTest, WarmupDepthMatchesStage) {
+  const int depth = 4;
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kOneFOneB, depth, 8);
+  for (int s = 0; s < depth; ++s) {
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    int warmup = 0;
+    while (warmup < static_cast<int>(ops.size()) &&
+           ops[static_cast<size_t>(warmup)].type == PipeOpType::kForward) {
+      ++warmup;
+    }
+    EXPECT_EQ(warmup, depth - s) << "stage " << s;  // P-1-s warmup + 1 steady F.
+  }
+}
+
+TEST(DeepSpeedScheduleTest, HasIdleSlots) {
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kDeepSpeed, 4, 8);
+  int idles = 0;
+  for (int s = 0; s < schedule.depth; ++s) {
+    idles += Count(schedule, s, PipeOpType::kIdleForward) +
+             Count(schedule, s, PipeOpType::kIdleBackward);
+  }
+  EXPECT_GT(idles, 0);
+}
+
+TEST(DeepSpeedScheduleTest, SlowerThanOneFOneB) {
+  const double deepspeed =
+      ScheduleMakespanUnits(GenerateSchedule(ScheduleKind::kDeepSpeed, 4, 8));
+  const double one_f_one_b =
+      ScheduleMakespanUnits(GenerateSchedule(ScheduleKind::kOneFOneB, 4, 8));
+  EXPECT_GE(deepspeed, one_f_one_b);
+}
+
+TEST(ScheduleRenderTest, GanttMentionsEveryStage) {
+  const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 4, 5);
+  const std::string gantt = RenderScheduleGantt(schedule);
+  for (int s = 1; s <= 4; ++s) {
+    EXPECT_NE(gantt.find("S" + std::to_string(s)), std::string::npos);
+  }
+}
+
+TEST(ScheduleTest, OnlyVarunaIsOpportunistic) {
+  EXPECT_TRUE(GenerateSchedule(ScheduleKind::kVaruna, 2, 2).opportunistic);
+  EXPECT_FALSE(GenerateSchedule(ScheduleKind::kGpipe, 2, 2).opportunistic);
+  EXPECT_FALSE(GenerateSchedule(ScheduleKind::kOneFOneB, 2, 2).opportunistic);
+  EXPECT_FALSE(GenerateSchedule(ScheduleKind::kDeepSpeed, 2, 2).opportunistic);
+}
+
+}  // namespace
+}  // namespace varuna

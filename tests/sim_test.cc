@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace varuna {
+namespace {
+
+TEST(SimEngineTest, RunsEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.Schedule(3.0, [&] { order.push_back(3); });
+  engine.Schedule(1.0, [&] { order.push_back(1); });
+  engine.Schedule(2.0, [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(SimEngineTest, TieBreaksByScheduleOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.Schedule(1.0, [&] { order.push_back(1); });
+  engine.Schedule(1.0, [&] { order.push_back(2); });
+  engine.Schedule(1.0, [&] { order.push_back(3); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngineTest, NestedScheduling) {
+  SimEngine engine;
+  std::vector<double> times;
+  engine.Schedule(1.0, [&] {
+    times.push_back(engine.now());
+    engine.Schedule(0.5, [&] { times.push_back(engine.now()); });
+  });
+  engine.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(SimEngineTest, CancelPreventsExecution) {
+  SimEngine engine;
+  bool fired = false;
+  const auto id = engine.Schedule(1.0, [&] { fired = true; });
+  engine.Cancel(id);
+  engine.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEngineTest, CancelUnknownIdIsNoop) {
+  SimEngine engine;
+  engine.Cancel(999);
+  bool fired = false;
+  engine.Schedule(1.0, [&] { fired = true; });
+  engine.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEngineTest, RunUntilStopsAtDeadline) {
+  SimEngine engine;
+  int count = 0;
+  // Self-rescheduling ticker.
+  std::function<void()> tick = [&] {
+    ++count;
+    engine.Schedule(1.0, tick);
+  };
+  engine.Schedule(1.0, tick);
+  engine.RunUntil(5.5);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.5);
+  engine.RunUntil(7.0);
+  EXPECT_EQ(count, 7);  // Ticks at 6.0 and 7.0 both fire.
+}
+
+TEST(SimEngineTest, StopHaltsRun) {
+  SimEngine engine;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    engine.Schedule(i, [&, i] {
+      ++count;
+      if (i == 3) {
+        engine.Stop();
+      }
+    });
+  }
+  engine.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimEngineTest, EventsProcessedCounter) {
+  SimEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    engine.Schedule(i, [] {});
+  }
+  engine.Run();
+  EXPECT_EQ(engine.events_processed(), 5u);
+}
+
+}  // namespace
+}  // namespace varuna

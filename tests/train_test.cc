@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/synthetic_task.h"
+#include "src/train/trainers.h"
+
+namespace varuna {
+namespace {
+
+constexpr int kVocab = 12;
+constexpr int kWidth = 16;
+constexpr int kBlocks = 6;
+
+std::unique_ptr<Sequential> FreshModel(uint64_t seed) {
+  Rng rng(seed);
+  return BuildBlockModel(kVocab, kWidth, kBlocks, &rng);
+}
+
+TEST(SplitIntoMicrobatchesTest, PreservesRowsAndTargets) {
+  MarkovTask task(kVocab, 1);
+  Rng rng(2);
+  const Batch batch = task.Sample(12, &rng);
+  const auto microbatches = SplitIntoMicrobatches(batch, 4);
+  ASSERT_EQ(microbatches.size(), 3u);
+  for (int m = 0; m < 3; ++m) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(microbatches[static_cast<size_t>(m)].targets[static_cast<size_t>(i)],
+                batch.targets[static_cast<size_t>(m * 4 + i)]);
+      for (int j = 0; j < kVocab; ++j) {
+        EXPECT_EQ(microbatches[static_cast<size_t>(m)].inputs.at(i, j),
+                  batch.inputs.at(m * 4 + i, j));
+      }
+    }
+  }
+}
+
+// The central correctness-preserving claim (§4.2): the pipeline-partitioned,
+// micro-batched, recompute-based execution produces gradients *identical* to
+// single-device execution.
+class GradientEquivalenceTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GradientEquivalenceTest, PipelineMatchesReferenceExactly) {
+  const int depth = std::get<0>(GetParam());
+  const int microbatch = std::get<1>(GetParam());
+  MarkovTask task(kVocab, 5);
+  Rng data_rng(77);
+  const Batch batch = task.Sample(24, &data_rng);
+
+  ReferenceTrainer reference(FreshModel(42));
+  // Split layers evenly: model has kBlocks+2 layers.
+  std::vector<int> stage_begin;
+  const int layers = kBlocks + 2;
+  for (int s = 0; s <= depth; ++s) {
+    stage_begin.push_back(s * layers / depth);
+  }
+  SyncPipelineTrainer pipeline(FreshModel(42), stage_begin);
+
+  const double ref_loss = reference.ForwardBackward(batch, microbatch);
+  const double pipe_loss = pipeline.ForwardBackward(batch, microbatch);
+  EXPECT_DOUBLE_EQ(ref_loss, pipe_loss);
+
+  const auto ref_grads = reference.Gradients();
+  const auto pipe_grads = pipeline.Gradients();
+  ASSERT_EQ(ref_grads.size(), pipe_grads.size());
+  for (size_t i = 0; i < ref_grads.size(); ++i) {
+    EXPECT_TRUE(Identical(*ref_grads[i], *pipe_grads[i])) << "grad " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GradientEquivalenceTest,
+                         ::testing::Values(std::make_tuple(2, 4), std::make_tuple(2, 12),
+                                           std::make_tuple(4, 4), std::make_tuple(4, 2),
+                                           std::make_tuple(8, 3), std::make_tuple(1, 6)),
+                         [](const auto& info) {
+                           return "P" + std::to_string(std::get<0>(info.param)) + "m" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(SyncPipelineTrainerTest, TrainingConvergesLikeReference) {
+  MarkovTask task(kVocab, 9);
+  Rng data_rng(3);
+  ReferenceTrainer reference(FreshModel(21));
+  SyncPipelineTrainer pipeline(FreshModel(21), {0, 3, 6, kBlocks + 2});
+  AdamOptimizer ref_opt(reference.Parameters(), reference.Gradients(), 3e-3f);
+  AdamOptimizer pipe_opt(pipeline.Parameters(), pipeline.Gradients(), 3e-3f);
+  Rng data_rng2(3);  // Identical data stream for both.
+  double ref_loss = 0.0;
+  double pipe_loss = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    const Batch batch = task.Sample(16, &data_rng);
+    const Batch batch2 = batch;
+    ref_opt.ZeroGradients();
+    ref_loss = reference.ForwardBackward(batch, 4);
+    ref_opt.Step();
+    pipe_opt.ZeroGradients();
+    pipe_loss = pipeline.ForwardBackward(batch2, 4);
+    pipe_opt.Step();
+  }
+  // Same data, same init, same semantics -> same trajectory.
+  EXPECT_DOUBLE_EQ(ref_loss, pipe_loss);
+}
+
+TEST(SyncPipelineTrainerTest, StashBoundedAndFreed) {
+  MarkovTask task(kVocab, 4);
+  Rng rng(6);
+  const Batch batch = task.Sample(32, &rng);
+  SyncPipelineTrainer pipeline(FreshModel(11), {0, 2, 4, 6, kBlocks + 2});
+  pipeline.ForwardBackward(batch, 2);  // 16 micro-batches, 4 stages.
+  EXPECT_LE(pipeline.peak_stash_slots(), 16);
+  EXPECT_GE(pipeline.peak_stash_slots(), 4);
+}
+
+TEST(SyncPipelineTrainerTest, ForwardMatchesReferenceInference) {
+  Rng rng(13);
+  MarkovTask task(kVocab, 2);
+  const Batch batch = task.Sample(8, &rng);
+  ReferenceTrainer reference(FreshModel(99));
+  SyncPipelineTrainer pipeline(FreshModel(99), {0, 4, kBlocks + 2});
+  EXPECT_TRUE(Identical(reference.model()->Forward(batch.inputs), pipeline.Forward(batch.inputs)));
+}
+
+TEST(GlobalNormTest, SyncedClipMatchesReference) {
+  MarkovTask task(kVocab, 8);
+  Rng rng(21);
+  const Batch batch = task.Sample(16, &rng);
+
+  ReferenceTrainer reference(FreshModel(33));
+  reference.ForwardBackward(batch, 4);
+  // Reference global clip.
+  double total_sq = 0.0;
+  for (Tensor* grad : reference.Gradients()) {
+    total_sq += grad->SquaredNorm();
+  }
+  const double global_norm = std::sqrt(total_sq);
+  const float max_norm = static_cast<float>(global_norm / 2.0);  // Force clipping.
+  for (Tensor* grad : reference.Gradients()) {
+    grad->Scale(static_cast<float>(max_norm / global_norm));
+  }
+
+  SyncPipelineTrainer synced(FreshModel(33), {0, 4, kBlocks + 2});
+  synced.ForwardBackward(batch, 4);
+  const double synced_norm = synced.ClipByGlobalNorm(max_norm, /*sync_across_stages=*/true);
+  EXPECT_NEAR(synced_norm, global_norm, 1e-6 * global_norm);
+
+  const auto ref_grads = reference.Gradients();
+  const auto sync_grads = synced.Gradients();
+  for (size_t i = 0; i < ref_grads.size(); ++i) {
+    EXPECT_LT(MaxAbsDiff(*ref_grads[i], *sync_grads[i]), 1e-7f);
+  }
+
+  // The unsynchronized variant (what the tracer prevents) clips wrongly.
+  SyncPipelineTrainer unsynced(FreshModel(33), {0, 4, kBlocks + 2});
+  unsynced.ForwardBackward(batch, 4);
+  unsynced.ClipByGlobalNorm(max_norm, /*sync_across_stages=*/false);
+  float max_divergence = 0.0f;
+  const auto unsync_grads = unsynced.Gradients();
+  for (size_t i = 0; i < ref_grads.size(); ++i) {
+    max_divergence = std::max(max_divergence, MaxAbsDiff(*ref_grads[i], *unsync_grads[i]));
+  }
+  EXPECT_GT(max_divergence, 1e-4f);
+}
+
+TEST(CheckpointRestoreTest, MorphAcrossDepthsPreservesTrajectory) {
+  // §4.5: per-layer checkpoints let the morphing framework resume with a
+  // different mapping of layers to stages. Train at depth 2, checkpoint,
+  // restore into a depth-4 trainer, continue — the final weights must match
+  // an uninterrupted run bit for bit.
+  MarkovTask task(kVocab, 17);
+  const int layers = kBlocks + 2;
+
+  // Uninterrupted reference: 12 steps at depth 2.
+  Rng data_rng_a(51);
+  SyncPipelineTrainer uninterrupted(FreshModel(88), {0, 4, layers});
+  AdamOptimizer opt_a(uninterrupted.Parameters(), uninterrupted.Gradients(), 3e-3f);
+  for (int step = 0; step < 12; ++step) {
+    const Batch batch = task.Sample(16, &data_rng_a);
+    opt_a.ZeroGradients();
+    uninterrupted.ForwardBackward(batch, 4);
+    opt_a.Step();
+  }
+
+  // Morphed run: 6 steps at depth 2, checkpoint, restore at depth 4, 6 more.
+  Rng data_rng_b(51);
+  SyncPipelineTrainer before(FreshModel(88), {0, 4, layers});
+  AdamOptimizer opt_b(before.Parameters(), before.Gradients(), 3e-3f);
+  for (int step = 0; step < 6; ++step) {
+    const Batch batch = task.Sample(16, &data_rng_b);
+    opt_b.ZeroGradients();
+    before.ForwardBackward(batch, 4);
+    opt_b.Step();
+  }
+  const ParameterCheckpoint checkpoint = SnapshotParameters(before.Parameters(), opt_b);
+
+  SyncPipelineTrainer after(FreshModel(123) /* different init, overwritten */,
+                            {0, 2, 4, 6, layers});
+  AdamOptimizer opt_c(after.Parameters(), after.Gradients(), 3e-3f);
+  RestoreParameters(checkpoint, after.Parameters(), &opt_c);
+  for (int step = 0; step < 6; ++step) {
+    const Batch batch = task.Sample(16, &data_rng_b);
+    opt_c.ZeroGradients();
+    after.ForwardBackward(batch, 4);
+    opt_c.Step();
+  }
+
+  const auto expected = uninterrupted.Parameters();
+  const auto restored = after.Parameters();
+  ASSERT_EQ(expected.size(), restored.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(Identical(*expected[i], *restored[i])) << "param " << i;
+  }
+}
+
+TEST(CheckpointRestoreTest, SgdVelocityRoundTrips) {
+  MarkovTask task(kVocab, 4);
+  Rng rng(2);
+  const Batch batch = task.Sample(8, &rng);
+  ReferenceTrainer trainer(FreshModel(9));
+  SgdOptimizer sgd(trainer.Parameters(), trainer.Gradients(), 0.05f, 0.9f);
+  trainer.ForwardBackward(batch, 4);
+  sgd.Step();
+  const ParameterCheckpoint checkpoint = SnapshotParameters(trainer.Parameters(), sgd);
+
+  ReferenceTrainer other(FreshModel(10));
+  SgdOptimizer sgd2(other.Parameters(), other.Gradients(), 0.05f, 0.9f);
+  RestoreParameters(checkpoint, other.Parameters(), &sgd2);
+  const auto a = trainer.Parameters();
+  const auto b = other.Parameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(Identical(*a[i], *b[i]));
+  }
+}
+
+TEST(StaleGradientTrainerTest, ZeroStalenessMatchesSync) {
+  MarkovTask task(kVocab, 3);
+  Rng data_rng(15);
+  StaleGradientTrainer fresh(FreshModel(55), 0, 0.05f, 0.9f);
+  Rng data_rng2(15);
+  // Manual sync SGD on identical model/data.
+  auto model = FreshModel(55);
+  SgdOptimizer sgd(model->Parameters(), model->Gradients(), 0.05f, 0.9f);
+  SoftmaxCrossEntropy loss;
+  for (int step = 0; step < 20; ++step) {
+    const Batch batch = task.Sample(16, &data_rng);
+    const Batch batch2 = task.Sample(16, &data_rng2);
+    fresh.Step(batch);
+    sgd.ZeroGradients();
+    loss.Loss(model->Forward(batch2.inputs), batch2.targets);
+    model->Backward(loss.Backward());
+    sgd.Step();
+  }
+  const auto a = fresh.model()->Parameters();
+  const auto b = model->Parameters();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(Identical(*a[i], *b[i]));
+  }
+}
+
+TEST(StaleGradientTrainerTest, StalenessDestabilizesAtHighLearningRate) {
+  // Figure 10: the same hyper-parameters that converge synchronously diverge
+  // with pipeline-induced gradient staleness.
+  MarkovTask task(kVocab, 6);
+  const float lr = 0.1f;
+  const float momentum = 0.9f;
+
+  auto run = [&](int staleness) {
+    Rng data_rng(31);
+    StaleGradientTrainer trainer(FreshModel(77), staleness, lr, momentum);
+    double last = 0.0;
+    for (int step = 0; step < 400; ++step) {
+      last = trainer.Step(task.Sample(32, &data_rng));
+      if (std::isnan(last) || last > 1e3) {
+        return 1e9;  // Diverged hard.
+      }
+    }
+    return last;
+  };
+
+  const double sync_loss = run(0);
+  const double stale_loss = run(6);
+  EXPECT_LT(sync_loss, 2.0);              // Converges.
+  EXPECT_GT(stale_loss, sync_loss + 1.0); // Blows up or stalls high.
+}
+
+}  // namespace
+}  // namespace varuna
