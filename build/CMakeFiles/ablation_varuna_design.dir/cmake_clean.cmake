@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_varuna_design.dir/bench/ablation_varuna_design.cc.o"
+  "CMakeFiles/ablation_varuna_design.dir/bench/ablation_varuna_design.cc.o.d"
+  "bench/ablation_varuna_design"
+  "bench/ablation_varuna_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_varuna_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_pipedream_divergence.cc" "CMakeFiles/fig10_pipedream_divergence.dir/bench/fig10_pipedream_divergence.cc.o" "gcc" "CMakeFiles/fig10_pipedream_divergence.dir/bench/fig10_pipedream_divergence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/varuna/CMakeFiles/varuna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/varuna_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/varuna_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/varuna_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/varuna_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/morph/CMakeFiles/varuna_morph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/varuna_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/varuna_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/varuna_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/varuna_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/varuna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/varuna_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/varuna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

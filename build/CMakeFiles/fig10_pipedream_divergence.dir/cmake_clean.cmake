@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pipedream_divergence.dir/bench/fig10_pipedream_divergence.cc.o"
+  "CMakeFiles/fig10_pipedream_divergence.dir/bench/fig10_pipedream_divergence.cc.o.d"
+  "bench/fig10_pipedream_divergence"
+  "bench/fig10_pipedream_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pipedream_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

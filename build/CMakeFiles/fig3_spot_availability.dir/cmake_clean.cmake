@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_spot_availability.dir/bench/fig3_spot_availability.cc.o"
+  "CMakeFiles/fig3_spot_availability.dir/bench/fig3_spot_availability.cc.o.d"
+  "bench/fig3_spot_availability"
+  "bench/fig3_spot_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_spot_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

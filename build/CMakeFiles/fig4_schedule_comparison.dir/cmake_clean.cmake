@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_schedule_comparison.dir/bench/fig4_schedule_comparison.cc.o"
+  "CMakeFiles/fig4_schedule_comparison.dir/bench/fig4_schedule_comparison.cc.o.d"
+  "bench/fig4_schedule_comparison"
+  "bench/fig4_schedule_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_schedule_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

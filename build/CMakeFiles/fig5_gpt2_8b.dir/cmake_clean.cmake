@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gpt2_8b.dir/bench/fig5_gpt2_8b.cc.o"
+  "CMakeFiles/fig5_gpt2_8b.dir/bench/fig5_gpt2_8b.cc.o.d"
+  "bench/fig5_gpt2_8b"
+  "bench/fig5_gpt2_8b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gpt2_8b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

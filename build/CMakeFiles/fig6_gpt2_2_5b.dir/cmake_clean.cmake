@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gpt2_2_5b.dir/bench/fig6_gpt2_2_5b.cc.o"
+  "CMakeFiles/fig6_gpt2_2_5b.dir/bench/fig6_gpt2_2_5b.cc.o.d"
+  "bench/fig6_gpt2_2_5b"
+  "bench/fig6_gpt2_2_5b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gpt2_2_5b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

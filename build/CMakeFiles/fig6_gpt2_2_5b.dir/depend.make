@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_gpt2_2_5b.
+# This may be replaced when dependencies are built.

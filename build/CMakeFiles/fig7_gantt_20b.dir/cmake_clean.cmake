@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gantt_20b.dir/bench/fig7_gantt_20b.cc.o"
+  "CMakeFiles/fig7_gantt_20b.dir/bench/fig7_gantt_20b.cc.o.d"
+  "bench/fig7_gantt_20b"
+  "bench/fig7_gantt_20b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gantt_20b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

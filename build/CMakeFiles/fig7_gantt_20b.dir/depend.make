@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_gantt_20b.
+# This may be replaced when dependencies are built.

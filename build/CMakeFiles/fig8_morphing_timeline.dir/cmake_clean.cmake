@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_morphing_timeline.dir/bench/fig8_morphing_timeline.cc.o"
+  "CMakeFiles/fig8_morphing_timeline.dir/bench/fig8_morphing_timeline.cc.o.d"
+  "bench/fig8_morphing_timeline"
+  "bench/fig8_morphing_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_morphing_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

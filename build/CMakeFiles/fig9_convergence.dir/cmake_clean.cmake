@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_convergence.dir/bench/fig9_convergence.cc.o"
+  "CMakeFiles/fig9_convergence.dir/bench/fig9_convergence.cc.o.d"
+  "bench/fig9_convergence"
+  "bench/fig9_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

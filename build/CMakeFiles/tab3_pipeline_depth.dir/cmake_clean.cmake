@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_pipeline_depth.dir/bench/tab3_pipeline_depth.cc.o"
+  "CMakeFiles/tab3_pipeline_depth.dir/bench/tab3_pipeline_depth.cc.o.d"
+  "bench/tab3_pipeline_depth"
+  "bench/tab3_pipeline_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

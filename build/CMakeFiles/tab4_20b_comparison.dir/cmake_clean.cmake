@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_20b_comparison.dir/bench/tab4_20b_comparison.cc.o"
+  "CMakeFiles/tab4_20b_comparison.dir/bench/tab4_20b_comparison.cc.o.d"
+  "bench/tab4_20b_comparison"
+  "bench/tab4_20b_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_20b_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

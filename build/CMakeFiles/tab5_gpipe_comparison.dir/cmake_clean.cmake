@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_gpipe_comparison.dir/bench/tab5_gpipe_comparison.cc.o"
+  "CMakeFiles/tab5_gpipe_comparison.dir/bench/tab5_gpipe_comparison.cc.o.d"
+  "bench/tab5_gpipe_comparison"
+  "bench/tab5_gpipe_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_gpipe_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_pipeline_systems.dir/bench/tab6_pipeline_systems.cc.o"
+  "CMakeFiles/tab6_pipeline_systems.dir/bench/tab6_pipeline_systems.cc.o.d"
+  "bench/tab6_pipeline_systems"
+  "bench/tab6_pipeline_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_pipeline_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_simulator_accuracy.dir/bench/tab7_simulator_accuracy.cc.o"
+  "CMakeFiles/tab7_simulator_accuracy.dir/bench/tab7_simulator_accuracy.cc.o.d"
+  "bench/tab7_simulator_accuracy"
+  "bench/tab7_simulator_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_simulator_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

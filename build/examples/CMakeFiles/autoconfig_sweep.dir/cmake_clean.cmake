@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoconfig_sweep.dir/autoconfig_sweep.cpp.o"
+  "CMakeFiles/autoconfig_sweep.dir/autoconfig_sweep.cpp.o.d"
+  "autoconfig_sweep"
+  "autoconfig_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoconfig_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

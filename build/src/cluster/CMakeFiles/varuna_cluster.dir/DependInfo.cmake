@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/varuna_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/varuna_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/fail_stutter.cc" "src/cluster/CMakeFiles/varuna_cluster.dir/fail_stutter.cc.o" "gcc" "src/cluster/CMakeFiles/varuna_cluster.dir/fail_stutter.cc.o.d"
+  "/root/repo/src/cluster/placement.cc" "src/cluster/CMakeFiles/varuna_cluster.dir/placement.cc.o" "gcc" "src/cluster/CMakeFiles/varuna_cluster.dir/placement.cc.o.d"
+  "/root/repo/src/cluster/spot_market.cc" "src/cluster/CMakeFiles/varuna_cluster.dir/spot_market.cc.o" "gcc" "src/cluster/CMakeFiles/varuna_cluster.dir/spot_market.cc.o.d"
+  "/root/repo/src/cluster/vm.cc" "src/cluster/CMakeFiles/varuna_cluster.dir/vm.cc.o" "gcc" "src/cluster/CMakeFiles/varuna_cluster.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/varuna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/varuna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/varuna_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_cluster.dir/cluster.cc.o"
+  "CMakeFiles/varuna_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/varuna_cluster.dir/fail_stutter.cc.o"
+  "CMakeFiles/varuna_cluster.dir/fail_stutter.cc.o.d"
+  "CMakeFiles/varuna_cluster.dir/placement.cc.o"
+  "CMakeFiles/varuna_cluster.dir/placement.cc.o.d"
+  "CMakeFiles/varuna_cluster.dir/spot_market.cc.o"
+  "CMakeFiles/varuna_cluster.dir/spot_market.cc.o.d"
+  "CMakeFiles/varuna_cluster.dir/vm.cc.o"
+  "CMakeFiles/varuna_cluster.dir/vm.cc.o.d"
+  "libvaruna_cluster.a"
+  "libvaruna_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_common.dir/gantt.cc.o"
+  "CMakeFiles/varuna_common.dir/gantt.cc.o.d"
+  "CMakeFiles/varuna_common.dir/rng.cc.o"
+  "CMakeFiles/varuna_common.dir/rng.cc.o.d"
+  "CMakeFiles/varuna_common.dir/stats.cc.o"
+  "CMakeFiles/varuna_common.dir/stats.cc.o.d"
+  "CMakeFiles/varuna_common.dir/table.cc.o"
+  "CMakeFiles/varuna_common.dir/table.cc.o.d"
+  "libvaruna_common.a"
+  "libvaruna_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

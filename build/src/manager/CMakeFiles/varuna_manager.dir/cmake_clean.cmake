@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_manager.dir/checkpoint.cc.o"
+  "CMakeFiles/varuna_manager.dir/checkpoint.cc.o.d"
+  "CMakeFiles/varuna_manager.dir/elastic_trainer.cc.o"
+  "CMakeFiles/varuna_manager.dir/elastic_trainer.cc.o.d"
+  "libvaruna_manager.a"
+  "libvaruna_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

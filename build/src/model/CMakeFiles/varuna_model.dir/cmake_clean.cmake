@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_model.dir/cutpoints.cc.o"
+  "CMakeFiles/varuna_model.dir/cutpoints.cc.o.d"
+  "CMakeFiles/varuna_model.dir/op_graph.cc.o"
+  "CMakeFiles/varuna_model.dir/op_graph.cc.o.d"
+  "CMakeFiles/varuna_model.dir/tracer.cc.o"
+  "CMakeFiles/varuna_model.dir/tracer.cc.o.d"
+  "CMakeFiles/varuna_model.dir/transformer.cc.o"
+  "CMakeFiles/varuna_model.dir/transformer.cc.o.d"
+  "libvaruna_model.a"
+  "libvaruna_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_morph.dir/calibration.cc.o"
+  "CMakeFiles/varuna_morph.dir/calibration.cc.o.d"
+  "CMakeFiles/varuna_morph.dir/config_search.cc.o"
+  "CMakeFiles/varuna_morph.dir/config_search.cc.o.d"
+  "CMakeFiles/varuna_morph.dir/fast_sim.cc.o"
+  "CMakeFiles/varuna_morph.dir/fast_sim.cc.o.d"
+  "libvaruna_morph.a"
+  "libvaruna_morph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_morph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for varuna_morph.
+# This may be replaced when dependencies are built.

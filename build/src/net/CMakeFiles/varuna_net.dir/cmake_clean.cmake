@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_net.dir/network.cc.o"
+  "CMakeFiles/varuna_net.dir/network.cc.o.d"
+  "CMakeFiles/varuna_net.dir/topology.cc.o"
+  "CMakeFiles/varuna_net.dir/topology.cc.o.d"
+  "libvaruna_net.a"
+  "libvaruna_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

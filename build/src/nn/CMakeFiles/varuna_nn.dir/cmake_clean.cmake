@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_nn.dir/layers.cc.o"
+  "CMakeFiles/varuna_nn.dir/layers.cc.o.d"
+  "CMakeFiles/varuna_nn.dir/optimizer.cc.o"
+  "CMakeFiles/varuna_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/varuna_nn.dir/synthetic_task.cc.o"
+  "CMakeFiles/varuna_nn.dir/synthetic_task.cc.o.d"
+  "libvaruna_nn.a"
+  "libvaruna_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

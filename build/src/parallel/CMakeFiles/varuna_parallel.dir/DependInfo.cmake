@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/data_parallel.cc" "src/parallel/CMakeFiles/varuna_parallel.dir/data_parallel.cc.o" "gcc" "src/parallel/CMakeFiles/varuna_parallel.dir/data_parallel.cc.o.d"
+  "/root/repo/src/parallel/intra_layer.cc" "src/parallel/CMakeFiles/varuna_parallel.dir/intra_layer.cc.o" "gcc" "src/parallel/CMakeFiles/varuna_parallel.dir/intra_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/varuna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/varuna_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/varuna_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/varuna_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/varuna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/varuna_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

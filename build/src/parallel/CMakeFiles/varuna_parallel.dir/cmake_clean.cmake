@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_parallel.dir/data_parallel.cc.o"
+  "CMakeFiles/varuna_parallel.dir/data_parallel.cc.o.d"
+  "CMakeFiles/varuna_parallel.dir/intra_layer.cc.o"
+  "CMakeFiles/varuna_parallel.dir/intra_layer.cc.o.d"
+  "libvaruna_parallel.a"
+  "libvaruna_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_pipeline.dir/executor.cc.o"
+  "CMakeFiles/varuna_pipeline.dir/executor.cc.o.d"
+  "CMakeFiles/varuna_pipeline.dir/memory.cc.o"
+  "CMakeFiles/varuna_pipeline.dir/memory.cc.o.d"
+  "CMakeFiles/varuna_pipeline.dir/schedule.cc.o"
+  "CMakeFiles/varuna_pipeline.dir/schedule.cc.o.d"
+  "CMakeFiles/varuna_pipeline.dir/stage_timing.cc.o"
+  "CMakeFiles/varuna_pipeline.dir/stage_timing.cc.o.d"
+  "libvaruna_pipeline.a"
+  "libvaruna_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_sim.dir/engine.cc.o"
+  "CMakeFiles/varuna_sim.dir/engine.cc.o.d"
+  "libvaruna_sim.a"
+  "libvaruna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_tensor.dir/tensor.cc.o"
+  "CMakeFiles/varuna_tensor.dir/tensor.cc.o.d"
+  "libvaruna_tensor.a"
+  "libvaruna_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

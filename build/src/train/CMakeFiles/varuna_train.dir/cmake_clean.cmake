@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_train.dir/trainers.cc.o"
+  "CMakeFiles/varuna_train.dir/trainers.cc.o.d"
+  "libvaruna_train.a"
+  "libvaruna_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvaruna_train.a"
+)

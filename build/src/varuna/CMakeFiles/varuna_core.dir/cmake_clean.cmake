@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varuna_core.dir/experiment.cc.o"
+  "CMakeFiles/varuna_core.dir/experiment.cc.o.d"
+  "libvaruna_core.a"
+  "libvaruna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varuna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

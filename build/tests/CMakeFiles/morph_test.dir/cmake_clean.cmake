@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morph_test.dir/morph_test.cc.o"
+  "CMakeFiles/morph_test.dir/morph_test.cc.o.d"
+  "morph_test"
+  "morph_test.pdb"
+  "morph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
