@@ -74,7 +74,7 @@ Network::RingStep Network::SlowestHop(const std::vector<GpuId>& members,
                                       int concurrent_rings) const {
   RingStep step;
   step.bandwidth = topology_->Node(topology_->NodeOf(members[0])).intra_bandwidth_bps;
-  step.latency = topology_->Node(topology_->NodeOf(members[0])).intra_latency_s;
+  step.latency_s = topology_->Node(topology_->NodeOf(members[0])).intra_latency_s;
   for (size_t i = 0; i < members.size(); ++i) {
     const GpuId a = members[i];
     const GpuId b = members[(i + 1) % members.size()];
@@ -84,7 +84,7 @@ Network::RingStep Network::SlowestHop(const std::vector<GpuId>& members,
     const double bandwidth = FlowBandwidth(a, b, concurrent_rings);
     if (bandwidth < step.bandwidth) {
       step.bandwidth = bandwidth;
-      step.latency = MeanLatency(a, b);
+      step.latency_s = MeanLatency(a, b);
       step.crosses_node = !topology_->SameNode(a, b);
     }
   }
@@ -104,7 +104,7 @@ double Network::MeanAllReduceTime(const std::vector<GpuId>& members, double byte
   // concurrent hop messages lands, so latency jitter and tail stalls amplify
   // with ring size — the reason large data-parallel widths are expensive on
   // commodity networks (Observation 2).
-  double step_latency = hop.latency;
+  double step_latency = hop.latency_s;
   if (hop.crosses_node) {
     const FabricSpec& fabric = topology_->fabric();
     // E[max of D log-normal latencies] ~ median * exp(sigma * sqrt(2 ln D)).
@@ -136,7 +136,7 @@ double Network::SampleAllReduceTime(const std::vector<GpuId>& members, double by
   const int steps = static_cast<int>(2.0 * (d - 1.0));
   const double bytes_term = bytes / d / hop.bandwidth;
   if (!hop.crosses_node) {
-    return steps * (bytes_term + hop.latency);
+    return steps * (bytes_term + hop.latency_s);
   }
   const FabricSpec& fabric = topology_->fabric();
   // Draw each step's slowest hop explicitly: O(D^2) draws, fine for the ring

@@ -49,7 +49,7 @@ class Network {
   // Slowest link time parameters around the ring formed by `members` in order.
   struct RingStep {
     double bandwidth = 0.0;   // bytes/sec of the slowest hop
-    double latency = 0.0;     // mean latency of the slowest hop
+    double latency_s = 0.0;   // mean latency (seconds) of the slowest hop
     bool crosses_node = false;
   };
   RingStep SlowestHop(const std::vector<GpuId>& members, int concurrent_rings) const;

@@ -9,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/common/gantt.h"
+#include "src/pipeline/validate.h"
 
 namespace varuna {
 namespace {
@@ -571,6 +572,12 @@ Schedule GenerateSchedule(ScheduleKind kind, int depth, int num_microbatches) {
     return it->second;
   }
   Schedule schedule = GenerateScheduleUncached(kind, depth, num_microbatches);
+  // varuna-verify: a generator bug must never reach the executor — validate
+  // once per (kind, depth, m) before the schedule enters the cache.
+  const ScheduleValidation validation = ValidateSchedule(schedule);
+  VARUNA_CHECK(validation.ok()) << "generated " << ToString(kind)
+                                << " schedule violates invariants:\n"
+                                << validation.ToString();
   if (cache.size() > 4096) {
     cache.erase(cache.begin());  // Bounded; evict an arbitrary entry.
   }

@@ -1,0 +1,405 @@
+#include "src/pipeline/validate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace varuna {
+namespace {
+
+const char* OpName(PipeOpType type) {
+  switch (type) {
+    case PipeOpType::kForward:
+      return "F";
+    case PipeOpType::kRecompute:
+      return "R";
+    case PipeOpType::kBackward:
+      return "B";
+    case PipeOpType::kIdleForward:
+      return "idleF";
+    case PipeOpType::kIdleBackward:
+      return "idleB";
+  }
+  return "?";
+}
+
+bool IsIdle(PipeOpType type) {
+  return type == PipeOpType::kIdleForward || type == PipeOpType::kIdleBackward;
+}
+
+// Accumulates violations with a uniform "stage S: ..." prefix.
+class Reporter {
+ public:
+  explicit Reporter(ScheduleValidation* out) : out_(out) {}
+
+  template <typename... Parts>
+  void Violation(int stage, const Parts&... parts) {
+    std::ostringstream message;
+    message << "stage " << stage << ": ";
+    (message << ... << parts);
+    out_->violations.push_back(message.str());
+  }
+
+  template <typename... Parts>
+  void Global(const Parts&... parts) {
+    std::ostringstream message;
+    (message << ... << parts);
+    out_->violations.push_back(message.str());
+  }
+
+ private:
+  ScheduleValidation* out_;
+};
+
+// Per-stage, per-micro-batch op positions, gathered in one pass. Position -1
+// means "not seen"; -2 means "seen more than once".
+struct StageIndex {
+  std::vector<int> forward_at;
+  std::vector<int> recompute_at;
+  std::vector<int> backward_at;
+
+  explicit StageIndex(int num_microbatches)
+      : forward_at(static_cast<size_t>(num_microbatches), -1),
+        recompute_at(static_cast<size_t>(num_microbatches), -1),
+        backward_at(static_cast<size_t>(num_microbatches), -1) {}
+
+  static void Record(std::vector<int>* slots, int microbatch, int position) {
+    int& slot = (*slots)[static_cast<size_t>(microbatch)];
+    slot = slot == -1 ? position : -2;
+  }
+};
+
+// --- Universal invariants --------------------------------------------------
+
+// Checks shape, op legality, multiset completeness and F < R < B ordering for
+// one stage; returns the index for the kind-specific passes.
+StageIndex CheckStageUniversal(const Schedule& schedule, int s, Reporter* report) {
+  const auto& ops = schedule.ops[static_cast<size_t>(s)];
+  const int microbatches = schedule.num_microbatches;
+  StageIndex index(microbatches);
+
+  int last_forward = -1;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const PipeOp& op = ops[i];
+    const int position = static_cast<int>(i);
+    if (IsIdle(op.type)) {
+      if (schedule.kind != ScheduleKind::kDeepSpeed) {
+        report->Violation(s, "op ", position, ": idle op in a ", ToString(schedule.kind),
+                          " schedule");
+      }
+      if (op.microbatch != -1) {
+        report->Violation(s, "op ", position, ": idle op with micro-batch ", op.microbatch);
+      }
+      continue;
+    }
+    if (op.microbatch < 0 || op.microbatch >= microbatches) {
+      report->Violation(s, "op ", position, ": ", OpName(op.type), " micro-batch ",
+                        op.microbatch, " out of range [0, ", microbatches, ")");
+      continue;
+    }
+    switch (op.type) {
+      case PipeOpType::kForward:
+        if (op.microbatch <= last_forward) {
+          report->Violation(s, "op ", position, ": F", op.microbatch,
+                            " out of ascending order (previous forward was F", last_forward,
+                            ")");
+        }
+        last_forward = std::max(last_forward, op.microbatch);
+        StageIndex::Record(&index.forward_at, op.microbatch, position);
+        break;
+      case PipeOpType::kRecompute:
+        StageIndex::Record(&index.recompute_at, op.microbatch, position);
+        break;
+      case PipeOpType::kBackward:
+        StageIndex::Record(&index.backward_at, op.microbatch, position);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (int m = 0; m < microbatches; ++m) {
+    const int f = index.forward_at[static_cast<size_t>(m)];
+    const int r = index.recompute_at[static_cast<size_t>(m)];
+    const int b = index.backward_at[static_cast<size_t>(m)];
+    if (f == -1) {
+      report->Violation(s, "micro-batch ", m, ": forward missing");
+    } else if (f == -2) {
+      report->Violation(s, "micro-batch ", m, ": forward duplicated");
+    }
+    if (b == -1) {
+      report->Violation(s, "micro-batch ", m, ": backward missing");
+    } else if (b == -2) {
+      report->Violation(s, "micro-batch ", m, ": backward duplicated");
+    }
+    if (r == -2) {
+      report->Violation(s, "micro-batch ", m, ": recompute duplicated");
+    }
+    // Ordering: F before (optional) R before B.
+    if (f >= 0 && b >= 0 && f > b) {
+      report->Violation(s, "micro-batch ", m, ": forward (op ", f, ") after backward (op ", b,
+                        ")");
+    }
+    if (r >= 0) {
+      if (f >= 0 && f > r) {
+        report->Violation(s, "micro-batch ", m, ": recompute (op ", r, ") before forward (op ",
+                          f, ")");
+      }
+      if (b >= 0 && r > b) {
+        report->Violation(s, "micro-batch ", m, ": recompute (op ", r, ") after backward (op ",
+                          b, ")");
+      }
+    }
+  }
+  return index;
+}
+
+// --- Kind-specific invariants ----------------------------------------------
+
+// A recompute must sit immediately before its own backward (Varuna rule 2;
+// also how GPipe/1F1B/DeepSpeed emit their LIFO / steady-state pairs).
+void CheckRecomputeAdjacent(const Schedule& schedule, int s, Reporter* report) {
+  const auto& ops = schedule.ops[static_cast<size_t>(s)];
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].type != PipeOpType::kRecompute) {
+      continue;
+    }
+    if (i + 1 >= ops.size() || ops[i + 1].type != PipeOpType::kBackward ||
+        ops[i + 1].microbatch != ops[i].microbatch) {
+      report->Violation(s, "op ", i, ": R", ops[i].microbatch,
+                        " not immediately followed by B", ops[i].microbatch);
+    }
+  }
+}
+
+void CheckNoRecompute(const Schedule& schedule, int s, const char* why, Reporter* report) {
+  for (size_t i = 0; i < schedule.ops[static_cast<size_t>(s)].size(); ++i) {
+    const PipeOp& op = schedule.ops[static_cast<size_t>(s)][i];
+    if (op.type == PipeOpType::kRecompute) {
+      report->Violation(s, "op ", i, ": R", op.microbatch, " forbidden (", why, ")");
+    }
+  }
+}
+
+void CheckVaruna(const Schedule& schedule, Reporter* report) {
+  const int last = schedule.depth - 1;
+  // Last stage: no recompute (activations are live — §3.2), and strict
+  // F(m),B(m) alternation: the loss gradient is local, so each forward's
+  // backward runs immediately.
+  CheckNoRecompute(schedule, last, "Varuna last stage never recomputes", report);
+  const auto& last_ops = schedule.ops[static_cast<size_t>(last)];
+  const size_t expected = 2 * static_cast<size_t>(schedule.num_microbatches);
+  if (last_ops.size() != expected) {
+    report->Violation(last, "expected ", expected, " ops (F,B alternation), found ",
+                      last_ops.size());
+  } else {
+    for (int m = 0; m < schedule.num_microbatches; ++m) {
+      const PipeOp want_f{PipeOpType::kForward, m};
+      const PipeOp want_b{PipeOpType::kBackward, m};
+      if (!(last_ops[static_cast<size_t>(2 * m)] == want_f) ||
+          !(last_ops[static_cast<size_t>(2 * m) + 1] == want_b)) {
+        report->Violation(last, "ops ", 2 * m, "-", 2 * m + 1, ": expected F", m, ",B", m,
+                          " alternation");
+        break;
+      }
+    }
+  }
+  // Interior stages: every micro-batch is recomputed, R immediately before B.
+  for (int s = 0; s < last; ++s) {
+    CheckRecomputeAdjacent(schedule, s, report);
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    std::vector<bool> recomputed(static_cast<size_t>(schedule.num_microbatches), false);
+    for (const PipeOp& op : ops) {
+      if (op.type == PipeOpType::kRecompute && op.microbatch >= 0 &&
+          op.microbatch < schedule.num_microbatches) {
+        recomputed[static_cast<size_t>(op.microbatch)] = true;
+      }
+    }
+    for (int m = 0; m < schedule.num_microbatches; ++m) {
+      if (!recomputed[static_cast<size_t>(m)]) {
+        report->Violation(s, "micro-batch ", m, ": interior stage must recompute before its backward");
+      }
+    }
+  }
+}
+
+void CheckGpipe(const Schedule& schedule, Reporter* report) {
+  const int newest = schedule.num_microbatches - 1;
+  for (int s = 0; s < schedule.depth; ++s) {
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    // Phase split: all forwards, then reverse-order recompute+backward.
+    bool backward_phase = false;
+    int previous_backward = schedule.num_microbatches;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const PipeOp& op = ops[i];
+      if (op.type == PipeOpType::kForward) {
+        if (backward_phase) {
+          report->Violation(s, "op ", i, ": F", op.microbatch,
+                            " after backward work began (GPipe runs all forwards first)");
+        }
+      } else {
+        backward_phase = true;
+      }
+      if (op.type == PipeOpType::kBackward) {
+        if (op.microbatch >= previous_backward) {
+          report->Violation(s, "op ", i, ": B", op.microbatch,
+                            " out of LIFO order (previous backward was B", previous_backward,
+                            ")");
+        }
+        previous_backward = op.microbatch;
+      }
+      if (op.type == PipeOpType::kRecompute && op.microbatch == newest) {
+        report->Violation(s, "op ", i, ": R", op.microbatch,
+                          " — the most recent micro-batch's activations are still live");
+      }
+    }
+    // All older micro-batches left the activation stack and must recompute.
+    CheckRecomputeAdjacent(schedule, s, report);
+    std::vector<bool> recomputed(static_cast<size_t>(schedule.num_microbatches), false);
+    for (const PipeOp& op : ops) {
+      if (op.type == PipeOpType::kRecompute && op.microbatch >= 0 &&
+          op.microbatch < schedule.num_microbatches) {
+        recomputed[static_cast<size_t>(op.microbatch)] = true;
+      }
+    }
+    for (int m = 0; m < newest; ++m) {
+      if (!recomputed[static_cast<size_t>(m)]) {
+        report->Violation(s, "micro-batch ", m, ": GPipe must recompute evicted activations");
+      }
+    }
+  }
+}
+
+void CheckOneFOneB(const Schedule& schedule, Reporter* report) {
+  const int last = schedule.depth - 1;
+  CheckNoRecompute(schedule, last, "1F1B last stage never recomputes", report);
+  for (int s = 0; s < schedule.depth; ++s) {
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    // Warmup: min(depth - s, m) leading forwards (P-1-s pipeline-fill + the
+    // first steady-state forward).
+    const int expected_warmup = std::min(schedule.depth - s, schedule.num_microbatches);
+    int warmup = 0;
+    while (warmup < static_cast<int>(ops.size()) &&
+           ops[static_cast<size_t>(warmup)].type == PipeOpType::kForward) {
+      ++warmup;
+    }
+    if (warmup != expected_warmup) {
+      report->Violation(s, "warmup of ", warmup, " leading forwards, expected ",
+                        expected_warmup);
+    }
+    // Backwards drain in ascending (FIFO) order.
+    int previous_backward = -1;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].type != PipeOpType::kBackward) {
+        continue;
+      }
+      if (ops[i].microbatch <= previous_backward) {
+        report->Violation(s, "op ", i, ": B", ops[i].microbatch,
+                          " out of ascending order (previous backward was B", previous_backward,
+                          ")");
+      }
+      previous_backward = ops[i].microbatch;
+    }
+    if (s != last) {
+      CheckRecomputeAdjacent(schedule, s, report);
+    }
+  }
+}
+
+void CheckDeepSpeed(const Schedule& schedule, Reporter* report) {
+  const int last = schedule.depth - 1;
+  CheckNoRecompute(schedule, last, "DeepSpeed last stage never recomputes", report);
+  for (int s = 0; s < schedule.depth; ++s) {
+    const auto& ops = schedule.ops[static_cast<size_t>(s)];
+    // Slot parity: the op list decomposes into strictly alternating
+    // forward-slots and backward-slots, starting with a forward slot (the
+    // engine's fixed grid staggers stage s by s slots but always begins on a
+    // forward slot).
+    bool expect_forward_slot = true;
+    size_t i = 0;
+    while (i < ops.size()) {
+      const PipeOp& op = ops[i];
+      if (expect_forward_slot) {
+        if (op.type != PipeOpType::kForward && op.type != PipeOpType::kIdleForward) {
+          report->Violation(s, "op ", i, ": ", OpName(op.type), " in a forward slot");
+          break;
+        }
+        ++i;
+      } else {
+        if (op.type == PipeOpType::kIdleBackward) {
+          ++i;
+        } else if (op.type == PipeOpType::kRecompute) {
+          // CheckRecomputeAdjacent reports malformed pairs; consume both.
+          if (i + 1 < ops.size() && ops[i + 1].type == PipeOpType::kBackward) {
+            i += 2;
+          } else {
+            break;
+          }
+        } else if (op.type == PipeOpType::kBackward) {
+          if (s != last) {
+            report->Violation(s, "op ", i, ": B", op.microbatch,
+                              " without its recompute in a backward slot");
+          }
+          ++i;
+        } else {
+          report->Violation(s, "op ", i, ": ", OpName(op.type), " in a backward slot");
+          break;
+        }
+      }
+      expect_forward_slot = !expect_forward_slot;
+    }
+    CheckRecomputeAdjacent(schedule, s, report);
+  }
+}
+
+}  // namespace
+
+std::string ScheduleValidation::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << violations[i];
+  }
+  return out.str();
+}
+
+ScheduleValidation ValidateSchedule(const Schedule& schedule) {
+  ScheduleValidation result;
+  Reporter report(&result);
+
+  if (schedule.depth < 1) {
+    report.Global("depth ", schedule.depth, " < 1");
+    return result;
+  }
+  if (schedule.num_microbatches < 1) {
+    report.Global("num_microbatches ", schedule.num_microbatches, " < 1");
+    return result;
+  }
+  if (schedule.ops.size() != static_cast<size_t>(schedule.depth)) {
+    report.Global("ops has ", schedule.ops.size(), " stages, depth is ", schedule.depth);
+    return result;
+  }
+
+  for (int s = 0; s < schedule.depth; ++s) {
+    CheckStageUniversal(schedule, s, &report);
+  }
+  switch (schedule.kind) {
+    case ScheduleKind::kVaruna:
+      CheckVaruna(schedule, &report);
+      break;
+    case ScheduleKind::kGpipe:
+      CheckGpipe(schedule, &report);
+      break;
+    case ScheduleKind::kOneFOneB:
+      CheckOneFOneB(schedule, &report);
+      break;
+    case ScheduleKind::kDeepSpeed:
+      CheckDeepSpeed(schedule, &report);
+      break;
+  }
+  return result;
+}
+
+}  // namespace varuna

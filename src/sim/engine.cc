@@ -1,7 +1,5 @@
 #include "src/sim/engine.h"
 
-#include <algorithm>
-
 #include "src/common/check.h"
 
 namespace varuna {
@@ -15,20 +13,27 @@ SimEngine::EventId SimEngine::ScheduleAt(SimTime when, Callback callback) {
   VARUNA_CHECK_GE(when, now_);
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(callback)});
+  live_.insert(id);
   return id;
 }
 
-void SimEngine::Cancel(EventId id) { cancelled_.push_back(id); }
+void SimEngine::Cancel(EventId id) {
+  // Erase from the live set only: the queue entry (if any) is dropped lazily
+  // when it reaches the front. Already-fired ids are no longer in the set, so
+  // a late Cancel leaves nothing behind.
+  live_.erase(id);
+}
 
 bool SimEngine::Step() {
   while (!queue_.empty()) {
     Event event = queue_.top();
     queue_.pop();
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), event.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+    if (live_.erase(event.id) == 0) {
+      continue;  // Cancelled while queued; purged here on fire.
     }
+    // Self-check: simulated time never goes backwards. ScheduleAt() enforces
+    // when >= now() at insertion, so a violation here means heap corruption.
+    VARUNA_CHECK_GE(event.when, now_) << "SimEngine time went backwards";
     now_ = event.when;
     ++events_processed_;
     event.callback();
@@ -51,6 +56,17 @@ void SimEngine::RunUntil(SimTime until) {
   }
   if (!stopped_) {
     now_ = until;
+  }
+}
+
+void SimEngine::CheckInvariants() const {
+  // Cancelled-set hygiene: every live id is backed by a queued event, so the
+  // live set can never exceed the queue (a stale-id leak shows up here).
+  VARUNA_CHECK_LE(live_.size(), queue_.size())
+      << "live ids without queued events (stale-id leak)";
+  // The queue only holds future (or present) events.
+  if (!queue_.empty()) {
+    VARUNA_CHECK_GE(queue_.top().when, now_) << "queued event in the past";
   }
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace varuna {
@@ -29,7 +30,9 @@ class SimEngine {
   EventId ScheduleAt(SimTime when, Callback callback);
 
   // Cancels a pending event. Cancelling an already-fired or unknown id is a
-  // no-op (the manager cancels heartbeat timeouts that may have just fired).
+  // no-op (the manager cancels heartbeat timeouts that may have just fired)
+  // and leaves no residue — cancellation state is purged when events fire, so
+  // long sessions do not accumulate stale ids.
   void Cancel(EventId id);
 
   // Runs events until the queue is empty or Stop() is called.
@@ -43,6 +46,17 @@ class SimEngine {
 
   SimTime now() const { return now_; }
   uint64_t events_processed() const { return events_processed_; }
+
+  // Events scheduled but neither fired nor cancelled. After a completed Run()
+  // this is 0; the regression tests for Cancel() hygiene key off it.
+  size_t pending_events() const { return live_.size(); }
+
+  // Self-check (varuna-verify): aborts via VARUNA_CHECK if the engine state is
+  // inconsistent — every live id must correspond to a queued event, and the
+  // queue may only hold events at or after now(). O(queue) — call from tests
+  // and validators, not hot loops (Step() enforces the same invariants
+  // incrementally in O(1)).
+  void CheckInvariants() const;
 
  private:
   struct Event {
@@ -63,7 +77,10 @@ class SimEngine {
   bool Step();
 
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::vector<EventId> cancelled_;  // Sorted lazily; usually tiny.
+  // Ids in queue_ that have not been cancelled. Cancel() erases from this set;
+  // Step() drops popped events whose id is gone and erases fired ids, so the
+  // set never outgrows the queue (no stale-id leak, O(1) per operation).
+  std::unordered_set<EventId> live_;
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   uint64_t events_processed_ = 0;

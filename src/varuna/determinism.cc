@@ -1,0 +1,127 @@
+#include "src/varuna/determinism.h"
+
+#include <cstring>
+#include <memory>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/spot_market.h"
+#include "src/cluster/vm.h"
+#include "src/common/units.h"
+#include "src/sim/engine.h"
+
+namespace varuna {
+namespace {
+
+// FNV-1a, 64-bit.
+class Fnv1a {
+ public:
+  void Bytes(const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+
+  void U64(uint64_t value) { Bytes(&value, sizeof(value)); }
+
+  void F64(double value) {
+    // Hash the IEEE-754 bit pattern: the determinism contract is bit-identity,
+    // not approximate equality.
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    U64(bits);
+  }
+
+  void Str(const std::string& value) {
+    U64(value.size());
+    Bytes(value.data(), value.size());
+  }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+}  // namespace
+
+DeterminismScenario DefaultDeterminismScenario(uint64_t seed) {
+  DeterminismScenario scenario;
+  scenario.spec = Gpt2_2_5B();
+  scenario.options.total_batch = 2400;
+  scenario.options.demand_vms = 30;
+  scenario.options.checkpoint_every_minibatches = 5;
+  scenario.options.seed = seed;
+  return scenario;
+}
+
+uint64_t ElasticTrace::Fingerprint() const {
+  Fnv1a fnv;
+  fnv.U64(events_processed);
+  fnv.F64(final_now_s);
+  fnv.U64(static_cast<uint64_t>(minibatches_done));
+  fnv.U64(static_cast<uint64_t>(morphs));
+  fnv.U64(static_cast<uint64_t>(preemptions_hit));
+  fnv.U64(static_cast<uint64_t>(checkpoints));
+  fnv.F64(examples_processed);
+  fnv.U64(event_times_s.size());
+  for (const double t : event_times_s) {
+    fnv.F64(t);
+  }
+  for (const std::string& kind : event_kinds) {
+    fnv.Str(kind);
+  }
+  fnv.U64(sample_times_s.size());
+  for (const double t : sample_times_s) {
+    fnv.F64(t);
+  }
+  for (const double rate : sample_examples_per_s) {
+    fnv.F64(rate);
+  }
+  return fnv.hash();
+}
+
+ElasticTrace RunElasticScenario(const DeterminismScenario& scenario) {
+  SimEngine engine;
+  Cluster cluster(CommodityFabric());
+  // The market's Rng fork derives from the scenario seed so that two runs of
+  // the same scenario share every stochastic draw.
+  SpotMarket market(&engine, Rng(scenario.options.seed * 7919 + 17), 60.0);
+
+  SpotPoolDynamics dynamics;
+  dynamics.mean_availability = scenario.mean_availability;
+  dynamics.volatility = scenario.volatility;
+  dynamics.preemption_hazard = scenario.preemption_hazard_per_s;
+  dynamics.max_grants_per_tick = 64;
+  const int pool = market.AddPool(Nc6V3(), scenario.max_vms, dynamics);
+
+  ElasticTrainer trainer(&engine, &cluster, &market, pool, Nc6V3(), scenario.spec,
+                         scenario.options);
+  trainer.Start();
+  market.Start();
+  engine.RunUntil(scenario.horizon_s);
+  engine.CheckInvariants();
+
+  ElasticTrace trace;
+  trace.events_processed = engine.events_processed();
+  trace.final_now_s = engine.now();
+  const SessionStats& stats = trainer.stats();
+  trace.minibatches_done = stats.minibatches_done;
+  trace.morphs = stats.morphs;
+  trace.preemptions_hit = stats.preemptions_hit;
+  trace.checkpoints = stats.checkpoints;
+  trace.examples_processed = stats.examples_processed;
+  for (const TimelineEvent& event : stats.events) {
+    trace.event_times_s.push_back(event.time_s);
+    trace.event_kinds.push_back(event.kind);
+  }
+  for (const TimelineSample& sample : stats.samples) {
+    trace.sample_times_s.push_back(sample.time_s);
+    trace.sample_examples_per_s.push_back(sample.examples_per_s);
+  }
+  return trace;
+}
+
+}  // namespace varuna

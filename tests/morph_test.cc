@@ -130,9 +130,9 @@ INSTANTIATE_TEST_SUITE_P(Configs, SimulatorAccuracyTest,
                          ::testing::Values(std::make_tuple(6, 2), std::make_tuple(9, 2),
                                            std::make_tuple(9, 4), std::make_tuple(18, 2),
                                            std::make_tuple(27, 1)),
-                         [](const auto& info) {
-                           return "P" + std::to_string(std::get<0>(info.param)) + "xD" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                           return "P" + std::to_string(std::get<0>(param_info.param)) + "xD" +
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 TEST(CalibrationTest, StallDecompositionConsistent) {

@@ -79,8 +79,8 @@ TEST_P(AllSchedulesTest, ExecutableWithoutDeadlock) {
 INSTANTIATE_TEST_SUITE_P(Kinds, AllSchedulesTest,
                          ::testing::Values(ScheduleKind::kVaruna, ScheduleKind::kGpipe,
                                            ScheduleKind::kOneFOneB, ScheduleKind::kDeepSpeed),
-                         [](const ::testing::TestParamInfo<ScheduleKind>& info) {
-                           return ToString(info.param);
+                         [](const ::testing::TestParamInfo<ScheduleKind>& param_info) {
+                           return ToString(param_info.param);
                          });
 
 TEST(VarunaScheduleTest, LastStageNeverRecomputes) {

@@ -90,6 +90,56 @@ TEST(SimEngineTest, StopHaltsRun) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(SimEngineTest, CancelAfterFireLeavesNoResidue) {
+  // Regression: cancelling an id whose event already fired used to park the id
+  // in the cancelled list forever (unbounded growth + O(n) scan per step).
+  SimEngine engine;
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = engine.Schedule(1.0, [] {});
+    engine.Run();
+    engine.Cancel(id);  // Fires first, then cancelled: must be a no-op.
+    EXPECT_EQ(engine.pending_events(), 0u);
+    engine.CheckInvariants();
+  }
+}
+
+TEST(SimEngineTest, CancelledEventPurgedOnFireInstant) {
+  SimEngine engine;
+  const auto id = engine.Schedule(1.0, [] {});
+  EXPECT_EQ(engine.pending_events(), 1u);
+  engine.Cancel(id);
+  EXPECT_EQ(engine.pending_events(), 0u);
+  engine.Run();  // Drains the queued tombstone.
+  EXPECT_EQ(engine.pending_events(), 0u);
+  engine.CheckInvariants();
+}
+
+TEST(SimEngineTest, DoubleCancelIsNoop) {
+  SimEngine engine;
+  bool fired = false;
+  const auto id = engine.Schedule(1.0, [&] { fired = true; });
+  engine.Schedule(2.0, [] {});
+  engine.Cancel(id);
+  engine.Cancel(id);
+  engine.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.events_processed(), 1u);
+  engine.CheckInvariants();
+}
+
+TEST(SimEngineTest, InvariantsHoldDuringNestedScheduling) {
+  SimEngine engine;
+  engine.Schedule(1.0, [&] {
+    engine.CheckInvariants();
+    engine.Schedule(0.0, [&] { engine.CheckInvariants(); });
+    const auto id = engine.Schedule(5.0, [] {});
+    engine.Cancel(id);
+    engine.CheckInvariants();
+  });
+  engine.Run();
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
 TEST(SimEngineTest, EventsProcessedCounter) {
   SimEngine engine;
   for (int i = 0; i < 5; ++i) {

@@ -74,9 +74,9 @@ INSTANTIATE_TEST_SUITE_P(Depths, GradientEquivalenceTest,
                          ::testing::Values(std::make_tuple(2, 4), std::make_tuple(2, 12),
                                            std::make_tuple(4, 4), std::make_tuple(4, 2),
                                            std::make_tuple(8, 3), std::make_tuple(1, 6)),
-                         [](const auto& info) {
-                           return "P" + std::to_string(std::get<0>(info.param)) + "m" +
-                                  std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                           return "P" + std::to_string(std::get<0>(param_info.param)) + "m" +
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 TEST(SyncPipelineTrainerTest, TrainingConvergesLikeReference) {

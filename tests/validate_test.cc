@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/pipeline/schedule.h"
+#include "src/pipeline/validate.h"
+
+namespace varuna {
+namespace {
+
+// --- Positive sweep: every generator output validates --------------------
+// Pins Figure-4 semantics across the whole (kind, depth, m) grid the
+// subsystems actually use.
+
+class ValidateSweepTest : public ::testing::TestWithParam<ScheduleKind> {};
+
+TEST_P(ValidateSweepTest, GeneratedSchedulesSatisfyInvariants) {
+  for (const int depth : {1, 2, 4, 8}) {
+    for (const int microbatches : {1, 3, 8}) {
+      const Schedule schedule = GenerateSchedule(GetParam(), depth, microbatches);
+      const ScheduleValidation validation = ValidateSchedule(schedule);
+      EXPECT_TRUE(validation.ok())
+          << ToString(GetParam()) << " depth=" << depth << " m=" << microbatches << "\n"
+          << validation.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ValidateSweepTest,
+                         ::testing::Values(ScheduleKind::kVaruna, ScheduleKind::kGpipe,
+                                           ScheduleKind::kOneFOneB, ScheduleKind::kDeepSpeed),
+                         [](const ::testing::TestParamInfo<ScheduleKind>& param_info) {
+                           return ToString(param_info.param);
+                         });
+
+// --- Negative tests: corrupted schedules are rejected ---------------------
+
+// Expects at least one violation whose text contains `needle`.
+void ExpectRejected(const Schedule& schedule, const std::string& needle) {
+  const ScheduleValidation validation = ValidateSchedule(schedule);
+  ASSERT_FALSE(validation.ok()) << "corruption not detected (wanted: " << needle << ")";
+  EXPECT_NE(validation.ToString().find(needle), std::string::npos)
+      << "violations:\n"
+      << validation.ToString();
+}
+
+TEST(ValidateNegativeTest, ShapeMismatchRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 4, 3);
+  schedule.ops.pop_back();
+  ExpectRejected(schedule, "stages");
+}
+
+TEST(ValidateNegativeTest, MissingBackwardRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kGpipe, 2, 3);
+  auto& ops = schedule.ops[0];
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].type == PipeOpType::kBackward) {
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  ExpectRejected(schedule, "backward missing");
+}
+
+TEST(ValidateNegativeTest, DuplicatedForwardRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kGpipe, 2, 3);
+  schedule.ops[1].push_back(PipeOp{PipeOpType::kForward, 2});
+  ExpectRejected(schedule, "forward duplicated");
+}
+
+TEST(ValidateNegativeTest, BackwardBeforeForwardRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 2, 3);
+  // Swap the last stage's F(0),B(0) pair so the backward runs first.
+  std::swap(schedule.ops[1][0], schedule.ops[1][1]);
+  ExpectRejected(schedule, "after backward");
+}
+
+TEST(ValidateNegativeTest, RecomputeAfterBackwardRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kOneFOneB, 2, 3);
+  auto& ops = schedule.ops[0];
+  // Move the first recompute behind its backward.
+  for (size_t i = 0; i + 1 < ops.size(); ++i) {
+    if (ops[i].type == PipeOpType::kRecompute) {
+      std::swap(ops[i], ops[i + 1]);
+      break;
+    }
+  }
+  ExpectRejected(schedule, "recompute");
+}
+
+TEST(ValidateNegativeTest, LastStageRecomputeRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 3, 3);
+  auto& ops = schedule.ops[2];
+  // Insert a recompute before the final backward on the last stage.
+  ops.insert(ops.end() - 1, PipeOp{PipeOpType::kRecompute, 2});
+  ExpectRejected(schedule, "forbidden");
+}
+
+TEST(ValidateNegativeTest, GpipeForwardAfterBackwardRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kGpipe, 2, 3);
+  auto& ops = schedule.ops[0];
+  // Move the final forward to the end of the op list (into the drain phase),
+  // leaving multiset completeness intact.
+  PipeOp moved{PipeOpType::kForward, 2};
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i] == moved) {
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  ops.push_back(moved);
+  ExpectRejected(schedule, "all forwards first");
+}
+
+TEST(ValidateNegativeTest, GpipeFifoDrainRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kGpipe, 1, 2);
+  // Rebuild stage 0 draining FIFO instead of LIFO: F0 F1 R0 B0 B1 — B1 should
+  // have run before B0 (and without recomputing B1's evicted activations).
+  schedule.ops[0] = {PipeOp{PipeOpType::kForward, 0}, PipeOp{PipeOpType::kForward, 1},
+                     PipeOp{PipeOpType::kRecompute, 0}, PipeOp{PipeOpType::kBackward, 0},
+                     PipeOp{PipeOpType::kBackward, 1}};
+  ExpectRejected(schedule, "LIFO");
+}
+
+TEST(ValidateNegativeTest, OneFOneBWarmupTooShortRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kOneFOneB, 4, 8);
+  // Delay stage 0's last warmup forward until after the first backward pair;
+  // forwards stay in ascending order but the warmup is now one short.
+  auto& ops = schedule.ops[0];
+  const PipeOp warmup_f = ops[3];
+  ASSERT_EQ(warmup_f.type, PipeOpType::kForward);
+  ops.erase(ops.begin() + 3);
+  ops.insert(ops.begin() + 5, warmup_f);
+  ExpectRejected(schedule, "warmup");
+}
+
+TEST(ValidateNegativeTest, DeepSpeedParityBreakRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kDeepSpeed, 2, 3);
+  // Two forward-slots in a row break the even/odd grid.
+  auto& ops = schedule.ops[0];
+  ops.insert(ops.begin() + 1, PipeOp{PipeOpType::kIdleForward, -1});
+  ExpectRejected(schedule, "slot");
+}
+
+TEST(ValidateNegativeTest, IdleOpOutsideDeepSpeedRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 2, 2);
+  schedule.ops[0].push_back(PipeOp{PipeOpType::kIdleForward, -1});
+  ExpectRejected(schedule, "idle op");
+}
+
+TEST(ValidateNegativeTest, MicrobatchOutOfRangeRejected) {
+  Schedule schedule = GenerateSchedule(ScheduleKind::kGpipe, 1, 2);
+  schedule.ops[0][0].microbatch = 7;
+  ExpectRejected(schedule, "out of range");
+}
+
+TEST(ValidateNegativeTest, ReportsAllViolations) {
+  // A thoroughly corrupted schedule yields one violation per defect, not just
+  // the first.
+  Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, 2, 2);
+  schedule.ops[0].push_back(PipeOp{PipeOpType::kIdleForward, -1});
+  schedule.ops[1].push_back(PipeOp{PipeOpType::kForward, 0});
+  const ScheduleValidation validation = ValidateSchedule(schedule);
+  EXPECT_GE(validation.violations.size(), 2u) << validation.ToString();
+}
+
+}  // namespace
+}  // namespace varuna

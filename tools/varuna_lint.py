@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""varuna-lint: repo-specific static checks no generic tool knows about.
+
+Rules (each can be suppressed on a line with `// varuna-lint: allow(<rule>)`):
+
+  determinism     The DES contract (src/sim/engine.h) requires every stochastic
+                  or temporal input to flow through the seeded varuna::Rng and
+                  the simulated clock. Wall-clock reads and ambient RNGs inside
+                  src/ silently break bit-identical replay: rand(), srand(),
+                  std::random_device, system_clock/steady_clock/
+                  high_resolution_clock, gettimeofday(), time(), clock(),
+                  <random> and <chrono> includes.
+
+  check-macro     Use VARUNA_CHECK (src/common/check.h) instead of assert():
+                  contract checks must stay on in release builds, and
+                  CHECK failures print the violated expression with context.
+                  static_assert is fine.
+
+  include-guard   Header guards must be the path uppercased:
+                  src/sim/engine.h -> SRC_SIM_ENGINE_H_.
+
+  unit-suffix     Public headers in src/net and src/cluster must not take raw
+                  `double` time/byte quantities without a unit suffix: names
+                  that read as times end in `_s`, names that read as byte
+                  counts end in `_bytes` (a bare `bytes` is already a unit).
+                  Applies to parameters and struct/class members.
+
+Usage:
+  tools/varuna_lint.py [paths...]     # default: src/
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+ALLOW_RE = re.compile(r"//\s*varuna-lint:\s*allow\(([a-z-]+)\)")
+
+# --- determinism ------------------------------------------------------------
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall clock (std::chrono::*_clock)"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(NULL|nullptr|0|&)"), "time()"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"#\s*include\s*<random>"), "#include <random>"),
+    (re.compile(r"#\s*include\s*<chrono>"), "#include <chrono>"),
+]
+
+# --- check-macro ------------------------------------------------------------
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+# --- unit-suffix ------------------------------------------------------------
+
+# `double <name>` in a declaration context (parameter list or member).
+DOUBLE_DECL_RE = re.compile(r"\bdouble\s+([A-Za-z_]\w*)\s*[,)=;{]")
+TIME_WORDS = re.compile(
+    r"(^|_)(time|latency|delay|timeout|interval|duration|deadline|period|stall|horizon)(_|$)")
+BYTE_WORDS = re.compile(r"(^|_)(bytes?|payload)(_|$)")
+# Accepted unit suffixes for time-like and byte-like quantities.
+TIME_OK = re.compile(r"(_s|_per_s)$")
+BYTE_OK = re.compile(r"(_bytes|_bytes_per_s|_bps)$")
+# Dimensionless quantities that merely mention a time/byte word
+# (stall_probability, preemption_hazard_fraction, ...).
+DIMENSIONLESS = re.compile(r"(probability|prob|ratio|fraction|factor|sigma|count|slots?)$")
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals, keeping
+    the line length stable enough for human-readable reporting."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, repo_root):
+        self.repo_root = repo_root
+        self.violations = []
+
+    def report(self, path, line_number, rule, message):
+        rel = os.path.relpath(path, self.repo_root)
+        self.violations.append(f"{rel}:{line_number}: [{rule}] {message}")
+
+    def lint_file(self, path):
+        rel = os.path.relpath(path, self.repo_root).replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8") as f:
+                raw_lines = f.read().splitlines()
+        except (OSError, UnicodeDecodeError) as error:
+            self.report(path, 0, "io", f"unreadable: {error}")
+            return
+
+        in_src = rel.startswith("src/")
+        unit_scoped = rel.startswith(("src/net/", "src/cluster/")) and rel.endswith(".h")
+
+        in_block_comment = False
+        for number, raw in enumerate(raw_lines, start=1):
+            allowed = set(ALLOW_RE.findall(raw))
+            line = raw
+            # Block comments: crude but sufficient for this codebase's style.
+            if in_block_comment:
+                end = line.find("*/")
+                if end < 0:
+                    continue
+                line = line[end + 2:]
+                in_block_comment = False
+            start = line.find("/*")
+            if start >= 0:
+                end = line.find("*/", start + 2)
+                if end < 0:
+                    in_block_comment = True
+                    line = line[:start]
+                else:
+                    line = line[:start] + line[end + 2:]
+            code = strip_comments_and_strings(line)
+
+            if in_src and "determinism" not in allowed:
+                for pattern, what in DETERMINISM_PATTERNS:
+                    if pattern.search(code):
+                        self.report(path, number, "determinism",
+                                    f"{what} breaks the SimEngine determinism contract; "
+                                    "route randomness through varuna::Rng and time through "
+                                    "SimEngine::now()")
+            if in_src and "check-macro" not in allowed:
+                if ASSERT_RE.search(code) and "static_assert" not in code:
+                    self.report(path, number, "check-macro",
+                                "use VARUNA_CHECK (src/common/check.h) instead of assert()")
+            if unit_scoped and "unit-suffix" not in allowed:
+                for match in DOUBLE_DECL_RE.finditer(code):
+                    name = match.group(1)
+                    if DIMENSIONLESS.search(name):
+                        continue
+                    if TIME_WORDS.search(name) and not TIME_OK.search(name):
+                        self.report(path, number, "unit-suffix",
+                                    f"double '{name}' reads as a time; suffix it with _s")
+                    elif (BYTE_WORDS.search(name) and name != "bytes"
+                          and not BYTE_OK.search(name)):
+                        self.report(path, number, "unit-suffix",
+                                    f"double '{name}' reads as a byte count; "
+                                    "suffix it with _bytes")
+
+        if rel.endswith(".h"):
+            self.check_include_guard(path, rel, raw_lines)
+
+    def check_include_guard(self, path, rel, raw_lines):
+        expected = rel.upper().replace("/", "_").replace(".", "_").replace("-", "_") + "_"
+        ifndef = define = None
+        ifndef_line = 0
+        for number, line in enumerate(raw_lines, start=1):
+            if "varuna-lint: allow(include-guard)" in line:
+                return
+            m = re.match(r"\s*#\s*ifndef\s+(\w+)", line)
+            if m and ifndef is None:
+                ifndef, ifndef_line = m.group(1), number
+                continue
+            m = re.match(r"\s*#\s*define\s+(\w+)", line)
+            if m and ifndef is not None and define is None:
+                define = m.group(1)
+                break
+        if ifndef is None or define is None:
+            self.report(path, 1, "include-guard", f"missing include guard {expected}")
+        elif ifndef != expected or define != expected:
+            self.report(path, ifndef_line, "include-guard",
+                        f"guard is {ifndef}, want {expected}")
+
+
+def iter_files(paths):
+    extensions = (".h", ".cc", ".cpp")
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            # Never descend into build trees or VCS metadata.
+            dirnames[:] = [d for d in dirnames
+                           if not d.startswith("build") and d != ".git"]
+            for name in sorted(filenames):
+                if name.endswith(extensions):
+                    yield os.path.join(dirpath, name)
+
+
+def main(argv):
+    repo_root = os.path.dirname(os.path.abspath(os.path.dirname(__file__)))
+    paths = argv[1:] or [os.path.join(repo_root, "src")]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"varuna-lint: no such path: {path}", file=sys.stderr)
+            return 2
+    linter = Linter(repo_root)
+    count = 0
+    for file_path in iter_files(paths):
+        count += 1
+        linter.lint_file(file_path)
+    if linter.violations:
+        for violation in linter.violations:
+            print(violation)
+        print(f"varuna-lint: {len(linter.violations)} violation(s) in {count} file(s)")
+        return 1
+    print(f"varuna-lint: {count} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
