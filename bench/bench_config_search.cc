@@ -1,0 +1,153 @@
+// §7.2 simulator/search runtime — the perf trajectory of the morph decision
+// path. The paper quotes 660/376/391 ms per simulated configuration for
+// P=36/24/18 on a 128-GPU, batch-8192 GPT-2 8.3B job, and parallelizes the
+// config search over candidate configs (§4.4): morphing agility is bounded by
+// how fast this loop runs at every preemption/arrival event.
+//
+// Measures, with warmup + repeated runs (median/min):
+//   * one FastSimulator::EstimateMinibatch call at P=36/24/18 (the paper's
+//     table), scratch buffers hot;
+//   * the full joint P x m sweep at G=128, cold caches, serial vs pooled
+//     (ThreadPool with one worker per hardware thread);
+//   * the same sweep with warm memo (the repeated-cluster-size morph case).
+// Verifies pooled results are bit-identical to serial before reporting, and
+// writes BENCH_config_search.json (override with --json <path>).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace varuna {
+namespace {
+
+struct Prepared {
+  TransformerSpec spec;
+  OpGraph graph;
+  ModelSections sections;
+  std::unique_ptr<Cluster> cluster;
+  Calibration calibration;
+};
+
+Prepared Prepare(const TransformerSpec& spec, int gpus) {
+  Prepared prepared{spec, BuildTransformerOpGraph(spec), {}, nullptr, {}};
+  prepared.sections = IdentifyCutPoints(prepared.graph, spec.num_layers).value();
+  prepared.cluster = std::make_unique<Cluster>(CommodityFabric());
+  prepared.cluster->AddVms(Nc6V3(), gpus + 2);
+  Rng rng(99);
+  prepared.calibration =
+      Calibrate(prepared.sections, *prepared.cluster, CalibrationOptions(), &rng).value();
+  return prepared;
+}
+
+int Run(int argc, char** argv) {
+  std::string json_path = JsonPathFromArgs(argc, argv);
+  if (json_path.empty()) {
+    json_path = "BENCH_config_search.json";
+  }
+  const int threads = ThreadPool::DefaultThreadCount();
+  std::printf("=== config-search runtime (§7.2): GPT-2 8.3B, 128 GPUs, batch 8192 ===\n");
+  std::printf("hardware threads: %d\n\n", threads);
+
+  Prepared prepared = Prepare(Gpt2_8_3B(), 40);  // Calibration sample, reused for every case.
+  SearchConstraints constraints;
+  constraints.total_batch = 8192;
+  constraints.budget.gpu_memory_bytes = Nc6V3().gpu.memory_bytes;
+  const int gpus = 128;
+
+  BenchJsonWriter json("bench_config_search");
+  json.AddScalar("hardware_threads", threads);
+  json.AddScalar("gpus", gpus);
+
+  // --- Single-configuration simulator runtime (the paper's §7.2 table). -----
+  std::printf("single-configuration FastSimulator runtime (paper: 660/376/391 ms):\n");
+  Table sim_table({"P", "D", "Nm", "median (ms)", "min (ms)"});
+  FastSimulator simulator(&prepared.calibration);
+  for (const int depth : {36, 24, 18}) {
+    const Partition partition = PartitionModel(prepared.sections, depth).value();
+    const int replicas = gpus / depth;
+    const int num_microbatches = static_cast<int>(std::ceil(8192.0 / (4.0 * replicas)));
+    const Schedule schedule =
+        GenerateSchedule(ScheduleKind::kVaruna, depth, num_microbatches);
+    FastSimConfig config;
+    config.sections = &prepared.sections;
+    config.partition = &partition;
+    config.data_parallel = replicas;
+    config.microbatch_size = 4;
+    config.gpus_per_node = 1;
+    double sink = 0.0;
+    const BenchStats stats = TimeIt(/*warmup=*/3, /*repeats=*/15, [&] {
+      sink += simulator.EstimateMinibatch(schedule, config).minibatch_s;
+    });
+    VARUNA_CHECK_GT(sink, 0.0);
+    sim_table.AddRow({std::to_string(depth), std::to_string(replicas),
+                      std::to_string(num_microbatches), Table::Num(stats.median_ms, 3),
+                      Table::Num(stats.min_ms, 3)});
+    json.AddResult("simulate_P" + std::to_string(depth), stats);
+  }
+  std::printf("%s\n", sim_table.Render().c_str());
+
+  // --- Full sweep: serial vs pooled, cold caches each repeat. ---------------
+  ConfigSearch serial_search(&prepared.spec, &prepared.sections, &prepared.calibration);
+  ThreadPool pool(threads);
+  ConfigSearch pooled_search(&prepared.spec, &prepared.sections, &prepared.calibration, &pool);
+
+  // Pooled must be bit-identical to serial (the determinism contract the
+  // property tests pin); refuse to report numbers for divergent results.
+  const auto serial_configs = serial_search.Sweep(gpus, constraints).value();
+  const auto pooled_configs = pooled_search.Sweep(gpus, constraints).value();
+  VARUNA_CHECK_EQ(serial_configs.size(), pooled_configs.size());
+  for (size_t i = 0; i < serial_configs.size(); ++i) {
+    VARUNA_CHECK(serial_configs[i] == pooled_configs[i])
+        << "pooled sweep diverged from serial at config " << i;
+  }
+  std::printf("joint P x m sweep: %zu feasible configs (depths x %d micro-batch candidates), "
+              "pooled == serial verified\n\n",
+              serial_configs.size(), constraints.microbatch_candidates);
+
+  const BenchStats serial_cold = TimeIt(/*warmup=*/1, /*repeats=*/7, [&] {
+    serial_search.ClearCaches();
+    (void)serial_search.Sweep(gpus, constraints);
+  });
+  const BenchStats pooled_cold = TimeIt(/*warmup=*/1, /*repeats=*/7, [&] {
+    pooled_search.ClearCaches();
+    (void)pooled_search.Sweep(gpus, constraints);
+  });
+  // Warm: the memoized path a spot trace hits when a cluster size recurs.
+  const BenchStats warm = TimeIt(/*warmup=*/1, /*repeats=*/15, [&] {
+    (void)serial_search.Sweep(gpus, constraints);
+  });
+
+  Table sweep_table({"variant", "median (ms)", "min (ms)", "mean (ms)"});
+  sweep_table.AddRow({"cold sweep, serial", Table::Num(serial_cold.median_ms, 2),
+                      Table::Num(serial_cold.min_ms, 2), Table::Num(serial_cold.mean_ms, 2)});
+  sweep_table.AddRow({"cold sweep, pooled x" + std::to_string(threads),
+                      Table::Num(pooled_cold.median_ms, 2), Table::Num(pooled_cold.min_ms, 2),
+                      Table::Num(pooled_cold.mean_ms, 2)});
+  sweep_table.AddRow({"warm sweep (memo hit)", Table::Num(warm.median_ms, 4),
+                      Table::Num(warm.min_ms, 4), Table::Num(warm.mean_ms, 4)});
+  std::printf("%s\n", sweep_table.Render().c_str());
+
+  const double speedup = serial_cold.median_ms / pooled_cold.median_ms;
+  std::printf("pooled speedup: %.2fx on %d hardware thread(s)"
+              "%s\n",
+              speedup, threads,
+              threads < 4 ? " (the >=2x target applies on >=4 cores)" : "");
+
+  json.AddResult("sweep_cold_serial", serial_cold);
+  json.AddResult("sweep_cold_pooled", pooled_cold);
+  json.AddResult("sweep_warm_memoized", warm);
+  json.AddScalar("pool_threads", threads);
+  json.AddScalar("feasible_configs", static_cast<double>(serial_configs.size()));
+  json.AddScalar("speedup_pooled_vs_serial", speedup);
+  if (!json.WriteTo(json_path)) {
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main(int argc, char** argv) { return varuna::Run(argc, argv); }

@@ -2,11 +2,114 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/varuna/varuna.h"
 
 namespace varuna {
+
+// --- Wall-clock micro-benchmark harness (warmup + repeats) ------------------
+// Benches live outside src/, so wall-clock reads are allowed here (the
+// determinism lint guards the simulators, not the measurement harness).
+
+struct BenchStats {
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+  double mean_ms = 0.0;
+  int repeats = 0;
+};
+
+// Runs `fn` `warmup` times unmeasured, then `repeats` measured times.
+// Median is the headline (robust to scheduler noise), min bounds the
+// intrinsic cost, mean exposes tail contamination.
+template <typename Fn>
+BenchStats TimeIt(int warmup, int repeats, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) {
+    fn();
+  }
+  std::vector<double> samples_ms;
+  samples_ms.reserve(static_cast<size_t>(std::max(1, repeats)));
+  for (int i = 0; i < std::max(1, repeats); ++i) {
+    const Clock::time_point begin = Clock::now();
+    fn();
+    const Clock::time_point end = Clock::now();
+    samples_ms.push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - begin)
+            .count());
+  }
+  std::sort(samples_ms.begin(), samples_ms.end());
+  BenchStats stats;
+  stats.repeats = static_cast<int>(samples_ms.size());
+  stats.min_ms = samples_ms.front();
+  const size_t mid = samples_ms.size() / 2;
+  stats.median_ms = samples_ms.size() % 2 == 1
+                        ? samples_ms[mid]
+                        : 0.5 * (samples_ms[mid - 1] + samples_ms[mid]);
+  for (const double sample : samples_ms) {
+    stats.mean_ms += sample;
+  }
+  stats.mean_ms /= static_cast<double>(samples_ms.size());
+  return stats;
+}
+
+// Parses `--json <path>` from argv; returns empty string when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+// Minimal ordered JSON emitter for BENCH_*.json perf-trajectory files:
+// a flat object of scalars plus one "results" array of named BenchStats.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void AddScalar(const std::string& key, double value) { scalars_.emplace_back(key, value); }
+
+  void AddResult(const std::string& name, const BenchStats& stats) {
+    results_.emplace_back(name, stats);
+  }
+
+  // Returns false (after printing a warning) when the file cannot be written.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(file, "{\n  \"bench\": \"%s\"", bench_name_.c_str());
+    for (const auto& [key, value] : scalars_) {
+      std::fprintf(file, ",\n  \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(file, ",\n  \"results\": [");
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const auto& [name, stats] = results_[i];
+      std::fprintf(file,
+                   "%s\n    {\"name\": \"%s\", \"min_ms\": %.4f, \"median_ms\": %.4f, "
+                   "\"mean_ms\": %.4f, \"repeats\": %d}",
+                   i == 0 ? "" : ",", name.c_str(), stats.min_ms, stats.median_ms,
+                   stats.mean_ms, stats.repeats);
+    }
+    std::fprintf(file, "\n  ]\n}\n");
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, BenchStats>> results_;
+};
 
 struct MegatronSetup {
   TransformerSpec spec;

@@ -1,0 +1,81 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int spawned = std::max(1, num_threads) - 1;
+  workers_.reserve(static_cast<size_t>(spawned));
+  for (int i = 0; i < spawned; ++i) {
+    // Worker 0 is the calling thread; spawned threads are workers 1..spawned.
+    workers_.emplace_back([this, worker = i + 1] { WorkerLoop(worker); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+int ThreadPool::DefaultThreadCount() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hardware));
+}
+
+void ThreadPool::DrainBatch(int worker, std::unique_lock<std::mutex>* lock) {
+  while (next_item_ < num_items_) {
+    const int item = next_item_++;
+    lock->unlock();
+    (*task_)(item, worker);
+    lock->lock();
+    ++items_done_;
+  }
+}
+
+void ThreadPool::ParallelFor(int num_items,
+                             const std::function<void(int item, int worker)>& fn) {
+  if (num_items <= 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  VARUNA_CHECK(task_ == nullptr) << "ThreadPool::ParallelFor is not reentrant";
+  task_ = &fn;
+  num_items_ = num_items;
+  next_item_ = 0;
+  items_done_ = 0;
+  ++batch_id_;
+  work_cv_.notify_all();
+
+  // The caller participates as worker 0, then waits for stragglers.
+  DrainBatch(/*worker=*/0, &lock);
+  done_cv_.wait(lock, [this] { return items_done_ == num_items_; });
+  task_ = nullptr;
+  num_items_ = 0;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_batch = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this, seen_batch] { return shutdown_ || batch_id_ != seen_batch; });
+    if (shutdown_) {
+      return;
+    }
+    seen_batch = batch_id_;
+    DrainBatch(worker, &lock);
+    if (items_done_ == num_items_) {
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace varuna

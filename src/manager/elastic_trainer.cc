@@ -118,7 +118,11 @@ void ElasticTrainer::TryBootstrap() {
     return;
   }
   calibration_ = std::move(calibration).value();
-  search_ = std::make_unique<ConfigSearch>(&spec_, &sections_, &calibration_.value());
+  if (options_.search_threads > 1 && !search_pool_) {
+    search_pool_ = std::make_unique<ThreadPool>(options_.search_threads);
+  }
+  search_ = std::make_unique<ConfigSearch>(&spec_, &sections_, &calibration_.value(),
+                                           search_pool_.get());
   Reconfigure("configure", /*lost_state=*/false);
 }
 
@@ -135,6 +139,7 @@ void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state)
   constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer;
 
   const Result<JobConfig> best = search_->Best(AvailableGpus(), constraints);
+  SyncSearchStats();
   if (!best.ok()) {
     // Not enough capacity for any configuration: stay stalled; ProvisionTick
     // and future grants will retry.
@@ -181,8 +186,9 @@ double ElasticTrainer::MeasuredMinibatchSeconds() {
   if (cached_minibatch_s_ > 0.0 && slow_factors == cached_slow_factors_) {
     return cached_minibatch_s_;
   }
-  const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, config_->pipeline_depth,
-                                             config_->num_microbatches);
+  // The sweep already generated+validated this shape; the cache hands it back.
+  const Schedule& schedule = search_->schedule_cache()->Get(
+      ScheduleKind::kVaruna, config_->pipeline_depth, config_->num_microbatches);
   const std::vector<StageTiming> timings = ComputeStageTimings(
       sections_, partition_.value(), vm_type_.gpu, config_->microbatch_size);
   ExecutorOptions exec_options;
@@ -309,6 +315,7 @@ void ElasticTrainer::ProvisionTick() {
   constraints.shared_sync_bytes = shared_sync_bytes_;
   constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer;
   const Result<JobConfig> best = search_->Best(AvailableGpus(), constraints);
+  SyncSearchStats();
   if (!best.ok()) {
     return;
   }
@@ -337,6 +344,12 @@ void ElasticTrainer::RecordSample(double examples_per_s, bool checkpointing) {
   sample.gpus_available = cluster_->NumActiveGpus();
   sample.checkpointing = checkpointing;
   stats_.samples.push_back(sample);
+}
+
+void ElasticTrainer::SyncSearchStats() {
+  const ConfigSearchStats stats = search_->stats();
+  stats_.sweep_cache_hits = stats.sweep_cache_hits;
+  stats_.sweep_cache_misses = stats.sweep_cache_misses;
 }
 
 void ElasticTrainer::RecordEvent(const std::string& kind) {

@@ -18,6 +18,7 @@
 #include "src/cluster/placement.h"
 #include "src/cluster/spot_market.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/manager/checkpoint.h"
 #include "src/model/cutpoints.h"
 #include "src/model/op_graph.h"
@@ -49,6 +50,10 @@ struct TrainerOptions {
   // Mini-batch-to-mini-batch duration noise when replaying the cached
   // executor measurement.
   double minibatch_noise_sigma = 0.02;
+  // Workers for the pooled config search (§4.4 parallelises the sweep over
+  // candidate configs). <= 1 keeps the sweep serial; pooled and serial
+  // sweeps are bit-identical, so this never changes the training trace.
+  int search_threads = 1;
   uint64_t seed = 1;
 };
 
@@ -79,6 +84,11 @@ struct SessionStats {
   int stutters_detected = 0;
   int checkpoints = 0;
   double stalled_s = 0.0;  // Time spent restoring / waiting for capacity.
+  // Morph-decision cost trackers: sweeps memoized by (G, calibration,
+  // constraints) resolve without re-simulation when a spot trace revisits a
+  // cluster size (snapshot of the ConfigSearch counters).
+  uint64_t sweep_cache_hits = 0;
+  uint64_t sweep_cache_misses = 0;
   std::vector<TimelineEvent> events;
   std::vector<TimelineSample> samples;
 };
@@ -120,6 +130,8 @@ class ElasticTrainer {
   int AvailableGpus() const;
   void RecordSample(double examples_per_s, bool checkpointing);
   void RecordEvent(const std::string& kind);
+  // Mirrors the ConfigSearch cache counters into stats_ after a search.
+  void SyncSearchStats();
 
   SimEngine* engine_;
   Cluster* cluster_;
@@ -134,6 +146,8 @@ class ElasticTrainer {
   ModelSections sections_;
   double shared_sync_bytes_ = 0.0;
   std::optional<Calibration> calibration_;
+  // Fan-out/join pool for the config sweep (null when search_threads <= 1).
+  std::unique_ptr<ThreadPool> search_pool_;
   std::unique_ptr<ConfigSearch> search_;
   CheckpointStore checkpoints_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
@@ -203,6 +204,53 @@ Result<Calibration> Calibrate(const ModelSections& sections, const Cluster& clus
   }
 
   return calibration;
+}
+
+uint64_t Calibration::Fingerprint() const {
+  // FNV-1a, matching the determinism harness's hashing discipline: doubles
+  // enter via their raw bit pattern, so two calibrations fingerprint equal
+  // iff they are bit-identical.
+  uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffULL;
+      hash *= 1099511628211ULL;
+    }
+  };
+  const auto mix_double = [&mix](double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  const auto mix_map = [&](const std::map<int, double>& points) {
+    mix(points.size());
+    for (const auto& [m, seconds] : points) {
+      mix(static_cast<uint64_t>(m));
+      mix_double(seconds);
+    }
+  };
+  mix(sections.size());
+  for (const SectionCalibration& section : sections) {
+    mix_map(section.forward_s);
+    mix_map(section.backward_s);
+    mix_map(section.send_intra_s);
+    mix_map(section.send_inter_s);
+    mix_double(section.params);
+  }
+  mix_double(allreduce.bandwidth_bps);
+  mix_double(allreduce.step_latency_s);
+  mix_double(allreduce.stall_probability);
+  mix_double(allreduce.stall_mean_s);
+  mix(microbatch_sizes.size());
+  for (const int m : microbatch_sizes) {
+    mix(static_cast<uint64_t>(m));
+  }
+  mix_double(send_stall_probability);
+  mix_double(send_stall_mean_s);
+  mix_double(send_stall_offset_s);
+  mix_double(send_stall_scale_s);
+  return hash;
 }
 
 }  // namespace varuna

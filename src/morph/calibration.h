@@ -9,6 +9,7 @@
 #define SRC_MORPH_CALIBRATION_H_
 
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -87,6 +88,11 @@ struct Calibration {
   double ForwardTime(int section, int m) const;
   double BackwardTime(int section, int m) const;
   double SendTime(int section, int m, bool cross_node) const;
+
+  // FNV-1a over every calibrated scalar (doubles hashed via their IEEE-754
+  // bits). Memoized search results are keyed on this, so *any* recalibration
+  // — even one changing a single profiled point — invalidates them.
+  uint64_t Fingerprint() const;
 };
 
 struct CalibrationOptions {

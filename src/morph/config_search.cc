@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "src/common/check.h"
-#include "src/morph/fast_sim.h"
 
 namespace varuna {
 
@@ -23,6 +23,29 @@ int ConfigSearch::PickMicrobatchSize(double tolerance) const {
     }
   }
   return sizes.back();
+}
+
+std::vector<int> ConfigSearch::PickMicrobatchCandidates(double tolerance,
+                                                        int max_candidates) const {
+  const std::vector<int>& sizes = calibration_->microbatch_sizes;
+  const int saturating = PickMicrobatchSize(tolerance);
+  std::vector<int> candidates;
+  // The saturating m maximises Nm (least bubble, least memory) at near-best
+  // per-example compute; larger profiled sizes trade bubble fraction for
+  // compute efficiency — which side wins depends on P, so both are swept.
+  // Sizes below saturation are dominated (worse per-example compute AND no
+  // bubble advantage over the saturating m is large enough to matter) and are
+  // skipped, keeping the sweep O(G * max_candidates).
+  for (const int m : sizes) {
+    if (m < saturating || static_cast<int>(candidates.size()) >= std::max(1, max_candidates)) {
+      continue;
+    }
+    candidates.push_back(m);
+  }
+  if (candidates.empty()) {
+    candidates.push_back(saturating);
+  }
+  return candidates;
 }
 
 bool ConfigSearch::StageMemoryFits(const Partition& partition, int m, int num_microbatches,
@@ -50,33 +73,28 @@ bool ConfigSearch::StageMemoryFits(const Partition& partition, int m, int num_mi
   return true;
 }
 
-Result<std::vector<JobConfig>> ConfigSearch::Sweep(int gpus,
-                                                   const SearchConstraints& constraints) const {
-  VARUNA_CHECK_GT(constraints.total_batch, 0.0);
-  if (gpus < 1) {
-    return Result<std::vector<JobConfig>>::Error("no GPUs available");
-  }
-  const int m = PickMicrobatchSize(constraints.microbatch_tolerance);
-  const int max_depth = std::min(gpus, sections_->num_sections());
-
+std::vector<JobConfig> ConfigSearch::EvaluateDepth(int depth, int gpus,
+                                                   const std::vector<int>& ms,
+                                                   const SearchConstraints& constraints,
+                                                   FastSimulator* simulator) const {
   std::vector<JobConfig> feasible;
-  FastSimulator simulator(calibration_);
-  for (int depth = 1; depth <= max_depth; ++depth) {
-    Result<Partition> partition = PartitionModel(*sections_, depth);
-    if (!partition.ok()) {
-      continue;
-    }
-    const int replicas = gpus / depth;
-    if (replicas < 1) {
-      continue;
-    }
+  const Result<Partition> partition = PartitionModel(*sections_, depth);
+  if (!partition.ok()) {
+    return feasible;
+  }
+  const int replicas = gpus / depth;
+  if (replicas < 1) {
+    return feasible;
+  }
+  for (const int m : ms) {
     const int num_microbatches = static_cast<int>(
         std::ceil(constraints.total_batch / (static_cast<double>(m) * replicas)));
     if (!StageMemoryFits(partition.value(), m, num_microbatches, constraints)) {
-      continue;  // Depth too shallow: a stage does not fit in GPU memory.
+      continue;  // Depth too shallow for this m: a stage does not fit in GPU memory.
     }
 
-    const Schedule schedule = GenerateSchedule(ScheduleKind::kVaruna, depth, num_microbatches);
+    const Schedule& schedule =
+        schedule_cache_.Get(ScheduleKind::kVaruna, depth, num_microbatches);
     FastSimConfig sim_config;
     sim_config.sections = sections_;
     sim_config.partition = &partition.value();
@@ -84,7 +102,7 @@ Result<std::vector<JobConfig>> ConfigSearch::Sweep(int gpus,
     sim_config.microbatch_size = m;
     sim_config.gpus_per_node = constraints.gpus_per_node;
     sim_config.shared_sync_bytes = constraints.shared_sync_bytes;
-    const FastSimResult sim = simulator.EstimateMinibatch(schedule, sim_config);
+    const FastSimResult sim = simulator->EstimateMinibatch(schedule, sim_config);
 
     JobConfig config;
     config.pipeline_depth = depth;
@@ -96,11 +114,92 @@ Result<std::vector<JobConfig>> ConfigSearch::Sweep(int gpus,
     config.gpus_used = depth * replicas;
     feasible.push_back(config);
   }
-  if (feasible.empty()) {
+  return feasible;
+}
+
+ConfigSearch::SweepKey ConfigSearch::MakeSweepKey(int gpus,
+                                                  const SearchConstraints& constraints) const {
+  return SweepKey{gpus,
+                  calibration_->Fingerprint(),
+                  constraints.total_batch,
+                  constraints.budget.gpu_memory_bytes,
+                  constraints.budget.usable_fraction,
+                  constraints.gpus_per_node,
+                  constraints.shared_sync_bytes,
+                  constraints.cpu_offload_optimizer,
+                  constraints.microbatch_tolerance,
+                  constraints.microbatch_candidates};
+}
+
+Result<std::vector<JobConfig>> ConfigSearch::Sweep(int gpus,
+                                                   const SearchConstraints& constraints) const {
+  VARUNA_CHECK_GT(constraints.total_batch, 0.0);
+  const auto infeasible = [&] {
     std::ostringstream message;
     message << "no feasible configuration for " << gpus << " GPUs (model " << spec_->name
-            << ", m=" << m << ")";
+            << ")";
     return Result<std::vector<JobConfig>>::Error(message.str());
+  };
+  if (gpus < 1) {
+    return Result<std::vector<JobConfig>>::Error("no GPUs available");
+  }
+  std::unique_lock<std::mutex> sweep_lock(sweep_mutex_);
+
+  // Memo lookup: the key covers every input of the sweep (G, the calibration
+  // fingerprint, all constraint fields), so a hit is exact — the cached
+  // vector is the bit-identical result a fresh sweep would produce.
+  const SweepKey key = MakeSweepKey(gpus, constraints);
+  int workers = 1;
+  {
+    std::unique_lock<std::mutex> lock(cache_mutex_);
+    ++stats_.sweeps;
+    const auto it = sweep_cache_.find(key);
+    if (it != sweep_cache_.end()) {
+      ++stats_.sweep_cache_hits;
+      if (it->second.empty()) {
+        return infeasible();
+      }
+      return it->second;
+    }
+    ++stats_.sweep_cache_misses;
+    workers = (pool_ != nullptr) ? pool_->num_threads() : 1;
+    if (static_cast<int>(simulators_.size()) < workers) {
+      simulators_.resize(static_cast<size_t>(workers), FastSimulator(calibration_));
+    }
+  }
+
+  const std::vector<int> ms =
+      PickMicrobatchCandidates(constraints.microbatch_tolerance, constraints.microbatch_candidates);
+  const int max_depth = std::min(gpus, sections_->num_sections());
+
+  // Fan out across candidate depths (each is an independent pure function of
+  // the depth), join, then merge in ascending depth order — the output is
+  // bit-identical to the serial loop regardless of worker interleaving.
+  std::vector<std::vector<JobConfig>> per_depth(static_cast<size_t>(max_depth));
+  const auto evaluate = [&](int item, int worker) {
+    per_depth[static_cast<size_t>(item)] =
+        EvaluateDepth(item + 1, gpus, ms, constraints, &simulators_[static_cast<size_t>(worker)]);
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && max_depth > 1) {
+    pool_->ParallelFor(max_depth, evaluate);
+  } else {
+    for (int item = 0; item < max_depth; ++item) {
+      evaluate(item, 0);
+    }
+  }
+
+  std::vector<JobConfig> feasible;
+  for (std::vector<JobConfig>& configs : per_depth) {
+    feasible.insert(feasible.end(), configs.begin(), configs.end());
+  }
+  {
+    std::unique_lock<std::mutex> lock(cache_mutex_);
+    // Every simulated candidate yields exactly one JobConfig.
+    stats_.candidates_simulated += feasible.size();
+    sweep_cache_.emplace(key, feasible);
+  }
+  if (feasible.empty()) {
+    return infeasible();
   }
   return feasible;
 }
@@ -114,12 +213,28 @@ Result<JobConfig> ConfigSearch::Best(int gpus, const SearchConstraints& constrai
   const JobConfig* best = &configs[0];
   for (const JobConfig& candidate : configs) {
     // M_total is fixed, so maximising throughput == minimising the time to
-    // process one mini-batch's worth of examples.
+    // process one mini-batch's worth of examples. Strict > keeps the first
+    // (lowest (P, m)) of exact ties, independent of pool interleaving.
     if (candidate.est_examples_per_s > best->est_examples_per_s) {
       best = &candidate;
     }
   }
   return *best;
+}
+
+ConfigSearchStats ConfigSearch::stats() const {
+  std::unique_lock<std::mutex> lock(cache_mutex_);
+  return stats_;
+}
+
+void ConfigSearch::ClearCaches() const {
+  std::unique_lock<std::mutex> sweep_lock(sweep_mutex_);
+  {
+    std::unique_lock<std::mutex> lock(cache_mutex_);
+    sweep_cache_.clear();
+    stats_ = ConfigSearchStats();
+  }
+  schedule_cache_.Clear();
 }
 
 }  // namespace varuna

@@ -1,21 +1,43 @@
 // Auto-configuration (§4.4): given G available GPUs and the one-time
-// calibration, pick the best (P, D, m, Nm). The exploration is O(G):
-//   1. m is chosen once — the lowest m at which F_i(m)/m stops improving.
+// calibration, pick the best (P, D, m, Nm). The exploration is O(G * |m|):
+//   1. The top micro-batch candidates are ranked once — the lowest m at which
+//      F_i(m)/m stops improving, plus the next larger profiled sizes (larger m
+//      trades pipeline-bubble fraction for per-example compute efficiency, so
+//      the winner couples to P and must be explored jointly, §4.4).
 //   2. P sweeps from the smallest memory-feasible depth up to the number of
-//      cut-points (or G); D = G / P; for each P one balanced cut-point
+//      cut-points (or G); D = G / P; for each (P, m) one balanced cut-point
 //      assignment is evaluated with the fast simulator.
 // M_total stays fixed across configurations (correctness-preserving
 // morphing, §4.2): Nm = ceil(M_total / (m * D)) via gradient accumulation.
+//
+// The sweep is the hot path of every morph decision (§7.2), so it is built to
+// be re-run at every preemption/arrival event:
+//   * Candidate depths are independent, so with a ThreadPool attached they are
+//     evaluated fan-out/join in parallel — one FastSimulator per worker, stall
+//     RNG seeded per candidate, results merged in ascending (P, m) order, so
+//     pooled output is bit-identical to a serial sweep.
+//   * A ScheduleCache generates+validates each (kind, P, Nm) shape once.
+//   * Whole sweeps are memoized by (G, calibration fingerprint, constraints):
+//     a spot trace revisits the same cluster sizes for hours, and those morph
+//     events resolve without any re-simulation. Recalibrating changes the
+//     fingerprint and naturally invalidates every memoized sweep.
 #ifndef SRC_MORPH_CONFIG_SEARCH_H_
 #define SRC_MORPH_CONFIG_SEARCH_H_
 
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/thread_pool.h"
 #include "src/model/cutpoints.h"
 #include "src/model/transformer.h"
 #include "src/morph/calibration.h"
+#include "src/morph/fast_sim.h"
 #include "src/pipeline/memory.h"
+#include "src/pipeline/schedule_cache.h"
 
 namespace varuna {
 
@@ -31,6 +53,10 @@ struct JobConfig {
   double ActualBatch() const {
     return static_cast<double>(microbatch_size) * num_microbatches * data_parallel;
   }
+
+  // Exact comparison (doubles included): the parallel-sweep property tests
+  // assert pooled results are bit-identical to serial ones.
+  bool operator==(const JobConfig&) const = default;
 };
 
 struct SearchConstraints {
@@ -42,33 +68,87 @@ struct SearchConstraints {
   // Relative throughput improvement below which F(m)/m has "stopped
   // improving" when picking m (§4.4).
   double microbatch_tolerance = 0.05;
+  // How many micro-batch sizes the joint P x m sweep explores: the saturating
+  // m plus up to this many - 1 larger profiled sizes. 1 recovers the old
+  // fixed-m sweep.
+  int microbatch_candidates = 3;
+};
+
+// Cumulative cache/workload counters (monotone; snapshot and subtract to
+// meter one call).
+struct ConfigSearchStats {
+  uint64_t sweeps = 0;                  // Sweep() calls (cached or not).
+  uint64_t sweep_cache_hits = 0;
+  uint64_t sweep_cache_misses = 0;
+  uint64_t candidates_simulated = 0;    // FastSimulator invocations.
 };
 
 class ConfigSearch {
  public:
+  // `pool` is optional: null (or a 1-thread pool) keeps the sweep serial.
+  // Pooled and serial sweeps return bit-identical results.
   ConfigSearch(const TransformerSpec* spec, const ModelSections* sections,
-               const Calibration* calibration)
-      : spec_(spec), sections_(sections), calibration_(calibration) {}
+               const Calibration* calibration, ThreadPool* pool = nullptr)
+      : spec_(spec), sections_(sections), calibration_(calibration), pool_(pool) {}
+
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   // Lowest profiled m whose per-example forward time is within `tolerance` of
   // the next profiled size's. Done once; reused across morphs.
   int PickMicrobatchSize(double tolerance) const;
+
+  // The joint-sweep candidate set: the saturating m plus up to
+  // `max_candidates` - 1 larger profiled sizes, ascending.
+  std::vector<int> PickMicrobatchCandidates(double tolerance, int max_candidates) const;
 
   // Best configuration for `gpus` available GPUs. Returns an error when even
   // the deepest pipeline cannot fit (too few GPUs or memory).
   Result<JobConfig> Best(int gpus, const SearchConstraints& constraints) const;
 
   // All feasible configurations evaluated during the sweep (for diagnostics
-  // and the Table 3 bench).
+  // and the Table 3 bench), ascending by (P, m).
   Result<std::vector<JobConfig>> Sweep(int gpus, const SearchConstraints& constraints) const;
+
+  // The shared schedule memo (also used by the manager for executor runs).
+  ScheduleCache* schedule_cache() const { return &schedule_cache_; }
+
+  ConfigSearchStats stats() const;
+
+  // Drops memoized sweeps and schedules (for cold-start benchmarking).
+  void ClearCaches() const;
 
  private:
   bool StageMemoryFits(const Partition& partition, int m, int num_microbatches,
                        const SearchConstraints& constraints) const;
 
+  // Evaluates every feasible (depth, m) candidate at this depth, ascending in
+  // m. Pure function of its arguments; `simulator` is per-worker scratch.
+  std::vector<JobConfig> EvaluateDepth(int depth, int gpus, const std::vector<int>& ms,
+                                       const SearchConstraints& constraints,
+                                       FastSimulator* simulator) const;
+
+  // (G, calibration fingerprint, every constraint field): the complete input
+  // of Sweep. An empty cached vector records an infeasible sweep.
+  using SweepKey =
+      std::tuple<int, uint64_t, double, double, double, int, double, bool, double, int>;
+  SweepKey MakeSweepKey(int gpus, const SearchConstraints& constraints) const;
+
   const TransformerSpec* spec_;
   const ModelSections* sections_;
   const Calibration* calibration_;
+  ThreadPool* pool_;
+
+  // Serialises whole sweeps: the per-worker simulators are shared state, so
+  // two externally concurrent Sweep() calls on one instance must not overlap
+  // (the internal fan-out is unaffected).
+  mutable std::mutex sweep_mutex_;
+  mutable ScheduleCache schedule_cache_;
+  mutable std::mutex cache_mutex_;  // Guards sweep_cache_, stats_, simulators_.
+  mutable std::map<SweepKey, std::vector<JobConfig>> sweep_cache_;
+  mutable ConfigSearchStats stats_;
+  // One simulator per worker, constructed once and reused across sweeps so
+  // the scratch buffers amortise (hoisted out of the per-candidate loop).
+  mutable std::vector<FastSimulator> simulators_;
 };
 
 }  // namespace varuna

@@ -1,7 +1,6 @@
 #include "src/morph/fast_sim.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
@@ -9,32 +8,38 @@
 namespace varuna {
 
 FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
-                                               const FastSimConfig& config) const {
+                                               const FastSimConfig& config) {
   VARUNA_CHECK(config.sections != nullptr && config.partition != nullptr);
   const int depth = schedule.depth;
   VARUNA_CHECK_EQ(depth, config.partition->depth());
   const int microbatches = schedule.num_microbatches;
   const int m = config.microbatch_size;
+  const size_t stages = static_cast<size_t>(depth);
+  const size_t cells = stages * static_cast<size_t>(microbatches);
+  const auto at = [microbatches](int s, int mb) {
+    return static_cast<size_t>(s) * static_cast<size_t>(microbatches) + static_cast<size_t>(mb);
+  };
 
   // Per-stage primitives assembled from the calibrated cut-point parameters.
-  std::vector<double> fwd(static_cast<size_t>(depth), 0.0);
-  std::vector<double> bwd(static_cast<size_t>(depth), 0.0);
-  std::vector<double> send(static_cast<size_t>(depth), 0.0);  // To next stage.
-  std::vector<bool> hop_cross_node(static_cast<size_t>(depth), false);
-  std::vector<double> allreduce(static_cast<size_t>(depth), 0.0);
+  // assign() both sizes the scratch and erases any previous candidate's state.
+  fwd_.assign(stages, 0.0);
+  bwd_.assign(stages, 0.0);
+  send_.assign(stages, 0.0);
+  allreduce_.assign(stages, 0.0);
+  hop_cross_node_.assign(stages, 0);
   for (int s = 0; s < depth; ++s) {
     const int begin = config.partition->stage_begin[static_cast<size_t>(s)];
     const int end = config.partition->stage_begin[static_cast<size_t>(s) + 1];
     for (int section = begin; section < end; ++section) {
-      fwd[static_cast<size_t>(s)] += calibration_->ForwardTime(section, m);
-      bwd[static_cast<size_t>(s)] += calibration_->BackwardTime(section, m);
-      allreduce[static_cast<size_t>(s)] += calibration_->allreduce.Predict(
+      fwd_[static_cast<size_t>(s)] += calibration_->ForwardTime(section, m);
+      bwd_[static_cast<size_t>(s)] += calibration_->BackwardTime(section, m);
+      allreduce_[static_cast<size_t>(s)] += calibration_->allreduce.Predict(
           2.0 * config.sections->params[static_cast<size_t>(section)], config.data_parallel);
     }
     if (s + 1 < depth) {
       const bool cross_node = ((s + 1) % std::max(1, config.gpus_per_node)) == 0;
-      hop_cross_node[static_cast<size_t>(s)] = cross_node;
-      send[static_cast<size_t>(s)] = calibration_->SendTime(end - 1, m, cross_node);
+      hop_cross_node_[static_cast<size_t>(s)] = cross_node ? 1 : 0;
+      send_[static_cast<size_t>(s)] = calibration_->SendTime(end - 1, m, cross_node);
     }
   }
 
@@ -44,23 +49,20 @@ FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
   // fixed-seed stream (deterministic estimates for a given configuration).
   // Stall sizes follow the profiled exponential tail — large stalls punch
   // through pipeline slack, so replaying the mean alone underestimates.
-  std::vector<std::vector<double>> fwd_stall(
-      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), 0.0));
-  std::vector<std::vector<double>> bwd_stall(
-      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), 0.0));
+  fwd_stall_.assign(cells, 0.0);
+  bwd_stall_.assign(cells, 0.0);
   auto sample_stalls = [&](Rng* stall_rng) {
     for (int s = 0; s + 1 < depth; ++s) {
       for (int mb = 0; mb < microbatches; ++mb) {
-        fwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] = 0.0;
-        bwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] = 0.0;
-        if (!hop_cross_node[static_cast<size_t>(s)] ||
+        fwd_stall_[at(s, mb)] = 0.0;
+        bwd_stall_[at(s, mb)] = 0.0;
+        if (hop_cross_node_[static_cast<size_t>(s)] == 0 ||
             calibration_->send_stall_probability <= 0.0) {
           continue;
         }
         if (stall_rng->Bernoulli(calibration_->send_stall_probability)) {
-          fwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] =
-              calibration_->send_stall_offset_s +
-              stall_rng->Exponential(calibration_->send_stall_scale_s);
+          fwd_stall_[at(s, mb)] = calibration_->send_stall_offset_s +
+                                  stall_rng->Exponential(calibration_->send_stall_scale_s);
         }
         if (stall_rng->Bernoulli(calibration_->send_stall_probability)) {
           // A stage waiting on a stalled gradient opportunistically runs a
@@ -69,8 +71,7 @@ FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
           // gradient lands mid-forward; long stalls fit several forwards).
           const double stall = calibration_->send_stall_offset_s +
                                stall_rng->Exponential(calibration_->send_stall_scale_s);
-          bwd_stall[static_cast<size_t>(s)][static_cast<size_t>(mb)] =
-              std::max(0.0, stall - 1.25 * fwd[static_cast<size_t>(s)]);
+          bwd_stall_[at(s, mb)] = std::max(0.0, stall - 1.25 * fwd_[static_cast<size_t>(s)]);
         }
       }
     }
@@ -81,31 +82,25 @@ FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
       case PipeOpType::kForward:
       case PipeOpType::kRecompute:
       case PipeOpType::kIdleForward:
-        return fwd[static_cast<size_t>(s)];
+        return fwd_[static_cast<size_t>(s)];
       case PipeOpType::kBackward:
-        return bwd[static_cast<size_t>(s)];
+        return bwd_[static_cast<size_t>(s)];
       case PipeOpType::kIdleBackward:
-        return fwd[static_cast<size_t>(s)] + bwd[static_cast<size_t>(s)];
+        return fwd_[static_cast<size_t>(s)] + bwd_[static_cast<size_t>(s)];
     }
     return 0.0;
   };
 
   // Longest-path evaluation of the schedule under strict per-stage op order.
-  std::vector<size_t> cursor(static_cast<size_t>(depth), 0);
-  std::vector<double> free_at(static_cast<size_t>(depth), 0.0);
-  std::vector<std::vector<double>> f_done(
-      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), -1.0));
-  std::vector<std::vector<double>> b_done(
-      static_cast<size_t>(depth), std::vector<double>(static_cast<size_t>(microbatches), -1.0));
+  cursor_.assign(stages, 0);
+  free_at_.assign(stages, 0.0);
+  f_done_.assign(cells, -1.0);
+  b_done_.assign(cells, -1.0);
   auto reset_state = [&] {
-    std::fill(cursor.begin(), cursor.end(), 0);
-    std::fill(free_at.begin(), free_at.end(), 0.0);
-    for (int s = 0; s < depth; ++s) {
-      std::fill(f_done[static_cast<size_t>(s)].begin(), f_done[static_cast<size_t>(s)].end(),
-                -1.0);
-      std::fill(b_done[static_cast<size_t>(s)].begin(), b_done[static_cast<size_t>(s)].end(),
-                -1.0);
-    }
+    std::fill(cursor_.begin(), cursor_.end(), 0);
+    std::fill(free_at_.begin(), free_at_.end(), 0.0);
+    std::fill(f_done_.begin(), f_done_.end(), -1.0);
+    std::fill(b_done_.begin(), b_done_.end(), -1.0);
   };
 
   auto ready_time = [&](int s, const PipeOp& op) -> double {
@@ -114,22 +109,20 @@ FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
         if (s == 0) {
           return 0.0;
         }
-        if (f_done[static_cast<size_t>(s) - 1][static_cast<size_t>(op.microbatch)] < 0.0) {
+        if (f_done_[at(s - 1, op.microbatch)] < 0.0) {
           return -1.0;
         }
-        return f_done[static_cast<size_t>(s) - 1][static_cast<size_t>(op.microbatch)] +
-               send[static_cast<size_t>(s) - 1] +
-               fwd_stall[static_cast<size_t>(s) - 1][static_cast<size_t>(op.microbatch)];
+        return f_done_[at(s - 1, op.microbatch)] + send_[static_cast<size_t>(s) - 1] +
+               fwd_stall_[at(s - 1, op.microbatch)];
       case PipeOpType::kBackward:
         if (s == depth - 1) {
-          return f_done[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)];
+          return f_done_[at(s, op.microbatch)];
         }
-        if (b_done[static_cast<size_t>(s) + 1][static_cast<size_t>(op.microbatch)] < 0.0) {
+        if (b_done_[at(s + 1, op.microbatch)] < 0.0) {
           return -1.0;
         }
-        return b_done[static_cast<size_t>(s) + 1][static_cast<size_t>(op.microbatch)] +
-               send[static_cast<size_t>(s)] +
-               bwd_stall[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)];
+        return b_done_[at(s + 1, op.microbatch)] + send_[static_cast<size_t>(s)] +
+               bwd_stall_[at(s, op.microbatch)];
       case PipeOpType::kRecompute:
       case PipeOpType::kIdleForward:
       case PipeOpType::kIdleBackward:
@@ -140,21 +133,21 @@ FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
 
   auto drain_stage = [&](int s) {
     bool progressed = false;
-    while (cursor[static_cast<size_t>(s)] < schedule.ops[static_cast<size_t>(s)].size()) {
-      const PipeOp& op = schedule.ops[static_cast<size_t>(s)][cursor[static_cast<size_t>(s)]];
+    while (cursor_[static_cast<size_t>(s)] < schedule.ops[static_cast<size_t>(s)].size()) {
+      const PipeOp& op = schedule.ops[static_cast<size_t>(s)][cursor_[static_cast<size_t>(s)]];
       const double ready = ready_time(s, op);
       if (ready < 0.0) {
         break;
       }
-      const double start = std::max(free_at[static_cast<size_t>(s)], ready);
+      const double start = std::max(free_at_[static_cast<size_t>(s)], ready);
       const double end = start + duration(s, op.type);
-      free_at[static_cast<size_t>(s)] = end;
+      free_at_[static_cast<size_t>(s)] = end;
       if (op.type == PipeOpType::kForward) {
-        f_done[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)] = end;
+        f_done_[at(s, op.microbatch)] = end;
       } else if (op.type == PipeOpType::kBackward) {
-        b_done[static_cast<size_t>(s)][static_cast<size_t>(op.microbatch)] = end;
+        b_done_[at(s, op.microbatch)] = end;
       }
-      ++cursor[static_cast<size_t>(s)];
+      ++cursor_[static_cast<size_t>(s)];
       progressed = true;
     }
     return progressed;
@@ -174,7 +167,7 @@ FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
       }
     }
     for (int s = 0; s < depth; ++s) {
-      VARUNA_CHECK_EQ(cursor[static_cast<size_t>(s)], schedule.ops[static_cast<size_t>(s)].size())
+      VARUNA_CHECK_EQ(cursor_[static_cast<size_t>(s)], schedule.ops[static_cast<size_t>(s)].size())
           << "fast-sim schedule deadlock at stage " << s;
     }
   };
@@ -189,14 +182,14 @@ FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
     sample_stalls(&stall_rng);
     run_once();
     for (int s = 0; s < depth; ++s) {
-      result.pipeline_s = std::max(result.pipeline_s, free_at[static_cast<size_t>(s)]);
+      result.pipeline_s = std::max(result.pipeline_s, free_at_[static_cast<size_t>(s)]);
       result.minibatch_s = std::max(result.minibatch_s,
-                                    free_at[static_cast<size_t>(s)] +
-                                        allreduce[static_cast<size_t>(s)]);
+                                    free_at_[static_cast<size_t>(s)] +
+                                        allreduce_[static_cast<size_t>(s)]);
     }
   }
   for (int s = 0; s < depth; ++s) {
-    result.allreduce_s = std::max(result.allreduce_s, allreduce[static_cast<size_t>(s)]);
+    result.allreduce_s = std::max(result.allreduce_s, allreduce_[static_cast<size_t>(s)]);
   }
   if (config.shared_sync_bytes > 0.0 && depth > 1) {
     result.sync_s = calibration_->allreduce.Predict(config.shared_sync_bytes, 2);

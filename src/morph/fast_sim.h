@@ -6,8 +6,19 @@
 // it consumes only calibrated scalars, which is what makes Table 7 a genuine
 // accuracy test. Runtime is O(P * Nm), fast enough to sweep every P on each
 // morphing event (§7.2).
+//
+// The simulator owns flat, row-major scratch buffers (indexed [s * Nm + mb])
+// that are resized and fully reinitialised per call, so sweeping hundreds of
+// candidates allocates O(1) instead of ~6 nested vector<vector<double>> per
+// candidate. Estimates are a pure function of (schedule, config, calibration):
+// the stall RNG is seeded per candidate, never carried across calls, which is
+// what lets ConfigSearch evaluate candidates on ThreadPool workers (one
+// simulator per worker) with bit-identical results to a serial sweep.
 #ifndef SRC_MORPH_FAST_SIM_H_
 #define SRC_MORPH_FAST_SIM_H_
+
+#include <cstdint>
+#include <vector>
 
 #include "src/model/cutpoints.h"
 #include "src/morph/calibration.h"
@@ -38,10 +49,27 @@ class FastSimulator {
  public:
   explicit FastSimulator(const Calibration* calibration) : calibration_(calibration) {}
 
-  FastSimResult EstimateMinibatch(const Schedule& schedule, const FastSimConfig& config) const;
+  // Non-const: reuses the member scratch buffers. The result depends only on
+  // the arguments and the calibration, never on prior calls.
+  FastSimResult EstimateMinibatch(const Schedule& schedule, const FastSimConfig& config);
 
  private:
   const Calibration* calibration_;
+
+  // Per-stage primitives, length `depth`.
+  std::vector<double> fwd_;
+  std::vector<double> bwd_;
+  std::vector<double> send_;  // To next stage.
+  std::vector<double> allreduce_;
+  std::vector<uint8_t> hop_cross_node_;
+  // Per-(stage, micro-batch) state, flat row-major, length depth * Nm.
+  std::vector<double> fwd_stall_;
+  std::vector<double> bwd_stall_;
+  std::vector<double> f_done_;
+  std::vector<double> b_done_;
+  // Longest-path evaluation state, length `depth`.
+  std::vector<size_t> cursor_;
+  std::vector<double> free_at_;
 };
 
 }  // namespace varuna

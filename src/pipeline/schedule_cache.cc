@@ -1,0 +1,36 @@
+#include "src/pipeline/schedule_cache.h"
+
+#include <utility>
+
+namespace varuna {
+
+const Schedule& ScheduleCache::Get(ScheduleKind kind, int depth, int num_microbatches) {
+  const Key key{static_cast<int>(kind), depth, num_microbatches};
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    return *it->second;
+  }
+  ++stats_.misses;
+  // Generation runs under the lock: concurrent first requests for the same
+  // shape must not both generate, and a cold sweep's shapes are all distinct
+  // anyway, so contention here is a non-issue.
+  auto schedule = std::make_unique<Schedule>(GenerateSchedule(kind, depth, num_microbatches));
+  const Schedule& ref = *schedule;
+  entries_.emplace(key, std::move(schedule));
+  return ref;
+}
+
+ScheduleCacheStats ScheduleCache::stats() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ScheduleCache::Clear() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = ScheduleCacheStats();
+}
+
+}  // namespace varuna

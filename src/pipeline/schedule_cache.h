@@ -1,0 +1,54 @@
+// Memoized schedule generation. GenerateSchedule() builds and validates a
+// schedule from scratch on every call — O(P * Nm) work plus the full
+// ValidateSchedule() contract check — yet the sweep and the manager keep
+// asking for the same shapes: every morph event regenerates (kVaruna, P, Nm)
+// for each candidate depth, and a spot trace revisits the same cluster sizes
+// for hours. The cache keys on (kind, depth, num_microbatches) — the complete
+// input of GenerateSchedule — so each shape is generated and validated exactly
+// once per process.
+//
+// Thread-safe: Get() may be called concurrently from ThreadPool workers during
+// a pooled sweep. Entries are heap-allocated and never evicted, so returned
+// references stay valid for the cache's lifetime (Clear() is the exception and
+// must only be called while no other thread is in Get()).
+#ifndef SRC_PIPELINE_SCHEDULE_CACHE_H_
+#define SRC_PIPELINE_SCHEDULE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "src/pipeline/schedule.h"
+
+namespace varuna {
+
+struct ScheduleCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+class ScheduleCache {
+ public:
+  // Returns the cached schedule for the shape, generating (and validating) it
+  // on first use. The reference is stable until Clear().
+  const Schedule& Get(ScheduleKind kind, int depth, int num_microbatches);
+
+  ScheduleCacheStats stats() const;
+
+  // Drops every entry (and invalidates previously returned references). Only
+  // safe while no concurrent Get() is running.
+  void Clear();
+
+ private:
+  using Key = std::tuple<int, int, int>;  // (kind, depth, num_microbatches).
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Schedule>> entries_;
+  ScheduleCacheStats stats_;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_PIPELINE_SCHEDULE_CACHE_H_

@@ -21,6 +21,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 #include "src/common/units.h"
 #include "src/manager/checkpoint.h"
 #include "src/manager/elastic_trainer.h"
@@ -36,6 +37,7 @@
 #include "src/pipeline/executor.h"
 #include "src/pipeline/memory.h"
 #include "src/pipeline/schedule.h"
+#include "src/pipeline/schedule_cache.h"
 #include "src/pipeline/stage_timing.h"
 #include "src/sim/engine.h"
 #include "src/train/trainers.h"

@@ -1,0 +1,130 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace varuna {
+namespace {
+
+// A pure function of the item index, matching the determinism contract: any
+// per-item "randomness" must derive from the item, never from shared state.
+uint64_t ItemValue(int item) {
+  uint64_t x = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(item);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+TEST(ThreadPoolTest, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kItems = 1000;
+  std::vector<std::atomic<int>> runs(kItems);
+  pool.ParallelFor(kItems, [&](int item, int /*worker*/) { runs[item].fetch_add(1); });
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndicesStayInRange) {
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.num_threads(), 3);
+  std::atomic<bool> out_of_range{false};
+  pool.ParallelFor(200, [&](int /*item*/, int worker) {
+    if (worker < 0 || worker >= pool.num_threads()) {
+      out_of_range = true;
+    }
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 50; ++batch) {
+    const int items = 1 + batch % 7;
+    std::atomic<int> done{0};
+    pool.ParallelFor(items, [&](int /*item*/, int /*worker*/) { done.fetch_add(1); });
+    ASSERT_EQ(done.load(), items) << "batch " << batch;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.ParallelFor(32, [&](int /*item*/, int worker) {
+    all_inline = all_inline && worker == 0 && std::this_thread::get_id() == caller;
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int calls = 0;
+  pool.ParallelFor(5, [&](int /*item*/, int /*worker*/) { ++calls; });
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPoolTest, ZeroItemsReturnsImmediately) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](int, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ItemIndexedResultsIdenticalAcrossPoolSizes) {
+  constexpr int kItems = 257;
+  std::vector<uint64_t> reference(kItems);
+  for (int i = 0; i < kItems; ++i) {
+    reference[i] = ItemValue(i);
+  }
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> results(kItems, 0);
+    pool.ParallelFor(kItems, [&](int item, int /*worker*/) { results[item] = ItemValue(item); });
+    EXPECT_EQ(results, reference) << "pool size " << threads;
+  }
+}
+
+TEST(ThreadPoolTest, PerWorkerScratchNeverAliases) {
+  ThreadPool pool(4);
+  // One scratch slot per worker, as ConfigSearch keys its simulators. If two
+  // workers ever shared an index concurrently, the final tally would drift
+  // (and TSan would flag the unsynchronised scratch writes).
+  std::vector<uint64_t> scratch(static_cast<size_t>(pool.num_threads()), 0);
+  constexpr int kItems = 4000;
+  pool.ParallelFor(kItems, [&](int /*item*/, int worker) {
+    scratch[static_cast<size_t>(worker)] += 1;
+  });
+  const uint64_t total = std::accumulate(scratch.begin(), scratch.end(), uint64_t{0});
+  EXPECT_EQ(total, static_cast<uint64_t>(kItems));
+}
+
+TEST(ThreadPoolTest, StressManySmallBatches) {
+  ThreadPool pool(ThreadPool::DefaultThreadCount() > 1 ? ThreadPool::DefaultThreadCount() : 4);
+  std::atomic<uint64_t> sum{0};
+  uint64_t expected = 0;
+  for (int batch = 0; batch < 300; ++batch) {
+    const int items = batch % 5;  // Includes empty batches between full ones.
+    for (int i = 0; i < items; ++i) {
+      expected += ItemValue(i);
+    }
+    pool.ParallelFor(items,
+                     [&](int item, int /*worker*/) { sum.fetch_add(ItemValue(item)); });
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace varuna

@@ -25,6 +25,14 @@ Rules (each can be suppressed on a line with `// varuna-lint: allow(<rule>)`):
                   counts end in `_bytes` (a bare `bytes` is already a unit).
                   Applies to parameters and struct/class members.
 
+  threading       All parallelism inside src/ flows through the deterministic
+                  fan-out/join pool in src/common/thread_pool.{h,cc}; ad-hoc
+                  threads have no determinism contract and no TSan coverage.
+                  Bans std::thread / std::jthread / std::async and the
+                  <thread> / <future> includes everywhere in src/ except the
+                  pool itself (std::mutex / std::condition_variable stay
+                  allowed — locking is fine, spawning is not).
+
 Usage:
   tools/varuna_lint.py [paths...]     # default: src/
 Exit status: 0 clean, 1 violations, 2 usage error.
@@ -53,6 +61,18 @@ DETERMINISM_PATTERNS = [
 # --- check-macro ------------------------------------------------------------
 
 ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+# --- threading --------------------------------------------------------------
+
+THREADING_PATTERNS = [
+    # `std::this_thread` is fine (the `thread\b` must follow `std::` directly).
+    (re.compile(r"\bstd\s*::\s*(jthread|thread)\b"), "std::thread/std::jthread"),
+    (re.compile(r"\bstd\s*::\s*async\b"), "std::async"),
+    (re.compile(r"#\s*include\s*<thread>"), "#include <thread>"),
+    (re.compile(r"#\s*include\s*<future>"), "#include <future>"),
+]
+# The one place allowed to create threads.
+THREAD_POOL_FILES = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
 
 # --- unit-suffix ------------------------------------------------------------
 
@@ -149,6 +169,12 @@ class Linter:
                 if ASSERT_RE.search(code) and "static_assert" not in code:
                     self.report(path, number, "check-macro",
                                 "use VARUNA_CHECK (src/common/check.h) instead of assert()")
+            if in_src and rel not in THREAD_POOL_FILES and "threading" not in allowed:
+                for pattern, what in THREADING_PATTERNS:
+                    if pattern.search(code):
+                        self.report(path, number, "threading",
+                                    f"{what}: spawn work through the deterministic pool "
+                                    "in src/common/thread_pool.h, not ad-hoc threads")
             if unit_scoped and "unit-suffix" not in allowed:
                 for match in DOUBLE_DECL_RE.finditer(code):
                     name = match.group(1)
