@@ -45,6 +45,7 @@ int Run(int argc, char** argv) {
   if (json_path.empty()) {
     json_path = "BENCH_config_search.json";
   }
+  const BenchMode mode = ModeFromArgs(argc, argv);
   const int threads = ThreadPool::DefaultThreadCount();
   std::printf("=== config-search runtime (§7.2): GPT-2 8.3B, 128 GPUs, batch 8192 ===\n");
   std::printf("hardware threads: %d\n\n", threads);
@@ -56,6 +57,7 @@ int Run(int argc, char** argv) {
   const int gpus = 128;
 
   BenchJsonWriter json("bench_config_search");
+  AddBuildMetadata(&json);
   json.AddScalar("hardware_threads", threads);
   json.AddScalar("gpus", gpus);
 
@@ -76,7 +78,7 @@ int Run(int argc, char** argv) {
     config.microbatch_size = 4;
     config.gpus_per_node = 1;
     double sink = 0.0;
-    const BenchStats stats = TimeIt(/*warmup=*/3, /*repeats=*/15, [&] {
+    const BenchStats stats = TimeIt(mode.Warmup(3), mode.Repeats(15), [&] {
       sink += simulator.EstimateMinibatch(schedule, config).minibatch_s;
     });
     VARUNA_CHECK_GT(sink, 0.0);
@@ -105,16 +107,16 @@ int Run(int argc, char** argv) {
               "pooled == serial verified\n\n",
               serial_configs.size(), constraints.microbatch_candidates);
 
-  const BenchStats serial_cold = TimeIt(/*warmup=*/1, /*repeats=*/7, [&] {
+  const BenchStats serial_cold = TimeIt(mode.Warmup(1), mode.Repeats(7), [&] {
     serial_search.ClearCaches();
     (void)serial_search.Sweep(gpus, constraints);
   });
-  const BenchStats pooled_cold = TimeIt(/*warmup=*/1, /*repeats=*/7, [&] {
+  const BenchStats pooled_cold = TimeIt(mode.Warmup(1), mode.Repeats(7), [&] {
     pooled_search.ClearCaches();
     (void)pooled_search.Sweep(gpus, constraints);
   });
   // Warm: the memoized path a spot trace hits when a cluster size recurs.
-  const BenchStats warm = TimeIt(/*warmup=*/1, /*repeats=*/15, [&] {
+  const BenchStats warm = TimeIt(mode.Warmup(1), mode.Repeats(15), [&] {
     (void)serial_search.Sweep(gpus, constraints);
   });
 

@@ -5,9 +5,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__)
+#include <sys/utsname.h>
+#endif
 
 #include "src/varuna/varuna.h"
 
@@ -68,6 +74,40 @@ inline std::string JsonPathFromArgs(int argc, char** argv) {
   return "";
 }
 
+// True when `flag` (e.g. "--smoke") appears in argv.
+inline bool FlagInArgs(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses `<flag> <int>` from argv; returns `fallback` when absent.
+inline int IntFromArgs(int argc, char** argv, const std::string& flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+// Repeat-count policy: `--smoke` clamps every TimeIt to 1 warmup + 1 repeat so
+// CI can prove the bench binaries still run without paying measurement time.
+struct BenchMode {
+  bool smoke = false;
+  int Warmup(int full) const { return smoke ? 1 : full; }
+  int Repeats(int full) const { return smoke ? 1 : full; }
+};
+
+inline BenchMode ModeFromArgs(int argc, char** argv) {
+  BenchMode mode;
+  mode.smoke = FlagInArgs(argc, argv, "--smoke");
+  return mode;
+}
+
 // Minimal ordered JSON emitter for BENCH_*.json perf-trajectory files:
 // a flat object of scalars plus one "results" array of named BenchStats.
 class BenchJsonWriter {
@@ -75,6 +115,18 @@ class BenchJsonWriter {
   explicit BenchJsonWriter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
 
   void AddScalar(const std::string& key, double value) { scalars_.emplace_back(key, value); }
+
+  void AddString(const std::string& key, const std::string& value) {
+    std::string escaped;
+    escaped.reserve(value.size());
+    for (const char c : value) {
+      if (c == '"' || c == '\\') {
+        escaped.push_back('\\');
+      }
+      escaped.push_back(c == '\n' ? ' ' : c);
+    }
+    strings_.emplace_back(key, escaped);
+  }
 
   void AddResult(const std::string& name, const BenchStats& stats) {
     results_.emplace_back(name, stats);
@@ -88,6 +140,9 @@ class BenchJsonWriter {
       return false;
     }
     std::fprintf(file, "{\n  \"bench\": \"%s\"", bench_name_.c_str());
+    for (const auto& [key, value] : strings_) {
+      std::fprintf(file, ",\n  \"%s\": \"%s\"", key.c_str(), value.c_str());
+    }
     for (const auto& [key, value] : scalars_) {
       std::fprintf(file, ",\n  \"%s\": %.6g", key.c_str(), value);
     }
@@ -107,9 +162,37 @@ class BenchJsonWriter {
 
  private:
   std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> strings_;  // Pre-escaped.
   std::vector<std::pair<std::string, double>> scalars_;
   std::vector<std::pair<std::string, BenchStats>> results_;
 };
+
+// Records the build/host provenance every BENCH_*.json needs to be
+// comparable across commits: compiler, optimization flags, and the machine.
+inline void AddBuildMetadata(BenchJsonWriter* json) {
+  json->AddString("compiler", __VERSION__);
+#if defined(VARUNA_BENCH_FLAGS)
+#define VARUNA_BENCH_STRINGIZE_IMPL(x) #x
+#define VARUNA_BENCH_STRINGIZE(x) VARUNA_BENCH_STRINGIZE_IMPL(x)
+  json->AddString("cxx_flags", VARUNA_BENCH_STRINGIZE(VARUNA_BENCH_FLAGS));
+#if defined(VARUNA_BENCH_KERNEL_SIMD)
+  json->AddString("kernel_simd", VARUNA_BENCH_STRINGIZE(VARUNA_BENCH_KERNEL_SIMD));
+#endif
+#undef VARUNA_BENCH_STRINGIZE
+#undef VARUNA_BENCH_STRINGIZE_IMPL
+#else
+  json->AddString("cxx_flags", "unknown");
+#endif
+#if defined(__unix__)
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    json->AddString("host_os", std::string(uts.sysname) + " " + uts.release);
+    json->AddString("host_machine", uts.machine);
+  }
+#endif
+  json->AddScalar("host_hardware_threads",
+                  static_cast<double>(std::thread::hardware_concurrency()));
+}
 
 struct MegatronSetup {
   TransformerSpec spec;

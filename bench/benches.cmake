@@ -2,10 +2,29 @@
 # top-level CMakeLists via include() so that build/bench/ contains only the
 # runnable binaries (for `for b in build/bench/*; do $b; done`).
 
+string(TOUPPER "${CMAKE_BUILD_TYPE}" _varuna_bench_build_type)
+string(STRIP "${CMAKE_CXX_FLAGS} ${CMAKE_CXX_FLAGS_${_varuna_bench_build_type}}"
+       _varuna_bench_flags)
+
 function(varuna_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE ${VARUNA_ALL_LIBS} benchmark::benchmark Threads::Threads)
+  # Build provenance for BENCH_*.json (bench_util.h AddBuildMetadata). The
+  # value is raw tokens; bench_util.h stringizes it (quoting here does not
+  # survive every generator's escaping).
+  target_compile_definitions(${name} PRIVATE
+      "VARUNA_BENCH_FLAGS=${_varuna_bench_flags} (${CMAKE_BUILD_TYPE})")
+  # The numeric-kernel targets may carry extra SIMD flags (top-level
+  # CMakeLists); record them so kernel-speed comparisons across hosts are
+  # interpretable.
+  if(VARUNA_KERNEL_SIMD_FLAGS)
+    target_compile_definitions(${name} PRIVATE
+        "VARUNA_BENCH_KERNEL_SIMD=${VARUNA_KERNEL_SIMD_FLAGS}")
+  else()
+    target_compile_definitions(${name} PRIVATE
+        "VARUNA_BENCH_KERNEL_SIMD=baseline")
+  endif()
 endfunction()
 
 varuna_add_bench(fig3_spot_availability)
@@ -22,4 +41,5 @@ varuna_add_bench(tab5_gpipe_comparison)
 varuna_add_bench(tab6_pipeline_systems)
 varuna_add_bench(tab7_simulator_accuracy)
 varuna_add_bench(bench_config_search)
+varuna_add_bench(bench_training_step)
 varuna_add_bench(ablation_varuna_design)

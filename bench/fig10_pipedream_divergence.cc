@@ -16,7 +16,7 @@ constexpr int kVocab = 12;
 constexpr int kWidth = 16;
 constexpr int kBlocks = 6;
 
-void Run() {
+void Run(int math_threads) {
   std::printf("=== Figure 10: PipeDream-2BW asynchronous divergence ===\n\n");
   MarkovTask task(kVocab, 6);
   const float lr = 0.1f;
@@ -34,7 +34,8 @@ void Run() {
   for (const int staleness : stalenesses) {
     Rng model_rng(77);
     trainers.push_back(std::make_unique<StaleGradientTrainer>(
-        BuildBlockModel(kVocab, kWidth, kBlocks, &model_rng), staleness, lr, momentum));
+        BuildBlockModel(kVocab, kWidth, kBlocks, &model_rng), staleness, lr, momentum,
+        MathOptions{math_threads}));
     streams.emplace_back(31);  // Identical data stream for every variant.
   }
   std::vector<double> last(stalenesses.size(), 0.0);
@@ -81,7 +82,7 @@ void Run() {
 }  // namespace
 }  // namespace varuna
 
-int main() {
-  varuna::Run();
+int main(int argc, char** argv) {
+  varuna::Run(varuna::IntFromArgs(argc, argv, "--math-threads", 1));
   return 0;
 }

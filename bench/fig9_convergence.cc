@@ -26,11 +26,14 @@ struct CurvePoint {
 };
 
 std::vector<CurvePoint> Train(const MarkovTask& task, int batch, int steps, float lr,
-                              uint64_t seed) {
+                              uint64_t seed, int math_threads) {
   Rng model_rng(seed);
   auto model = BuildBlockModel(kVocab, kWidth, kBlocks, &model_rng);
   // Cut at block boundaries: embedding+2 blocks | 2 blocks | 2 blocks+head.
-  SyncPipelineTrainer trainer(std::move(model), {0, 3, 5, kBlocks + 2});
+  // Stage wavefronts run pooled when --math-threads > 1; the curve is
+  // bit-identical either way (pooled == serial contract).
+  SyncPipelineTrainer trainer(std::move(model), {0, 3, 5, kBlocks + 2},
+                              MathOptions{math_threads});
   AdamOptimizer optimizer(trainer.Parameters(), trainer.Gradients(), lr);
   Rng data_rng(1234);
   Rng val_rng(77);
@@ -65,11 +68,12 @@ void PrintCurve(const char* name, const std::vector<CurvePoint>& curve) {
   }
 }
 
-void Run() {
+void Run(int math_threads) {
   std::printf("=== Figure 9: convergence with a 16x larger mini-batch ===\n\n");
   MarkovTask task(kVocab, 99, 1.5);
-  std::printf("task: order-1 Markov chain, vocab %d; optimal (entropy) perplexity = %.3f\n\n",
-              kVocab, task.OptimalPerplexity());
+  std::printf("task: order-1 Markov chain, vocab %d; optimal (entropy) perplexity = %.3f; "
+              "math threads %d\n\n",
+              kVocab, task.OptimalPerplexity(), math_threads);
 
   // Same number of training examples for both runs (the §7.3 protocol).
   const int small_batch = 128;
@@ -77,8 +81,8 @@ void Run() {
   const int large_batch = 16 * small_batch;
   const int large_steps = small_steps / 16;
 
-  const auto baseline = Train(task, small_batch, small_steps, 3e-3f, 42);
-  const auto varuna = Train(task, large_batch, large_steps, 3e-3f, 42);
+  const auto baseline = Train(task, small_batch, small_steps, 3e-3f, 42, math_threads);
+  const auto varuna = Train(task, large_batch, large_steps, 3e-3f, 42, math_threads);
 
   PrintCurve("Baseline (batch 128, 1024 steps) — 'Megatron' protocol:", baseline);
   std::printf("\n");
@@ -97,7 +101,7 @@ void Run() {
 }  // namespace
 }  // namespace varuna
 
-int main() {
-  varuna::Run();
+int main(int argc, char** argv) {
+  varuna::Run(varuna::IntFromArgs(argc, argv, "--math-threads", 1));
   return 0;
 }

@@ -3,6 +3,22 @@
 // re-establish that state by re-running Forward from the stashed stage input
 // right before Backward — which is precisely gradient-checkpointed recompute
 // (§2, §3.1), so the numerics of the real system carry over.
+//
+// Execution has two surfaces over ONE numeric implementation:
+//  * ForwardInto/BackwardInto — the explicit-output hot path. Cross-call state
+//    (stashed inputs, normalizer statistics, intermediate activations) lives
+//    in member buffers resized in place, and within-call scratch comes from a
+//    caller-provided TensorArena, so steady-state execution performs zero
+//    heap allocations.
+//  * Forward/Backward — the seed by-value API, now thin base-class wrappers
+//    that copy the input (to satisfy the Into lifetime contract) and call the
+//    Into path. Both surfaces produce bit-identical tensors.
+//
+// Parameter-gradient accumulation is two-phase: each Backward forms its
+// per-call gradient delta in scratch and applies it with a single AddInPlace.
+// That makes per-micro-batch gradients pure functions of the micro-batch, so
+// pooled trainers can compute them in any order and merge in ascending
+// micro-batch order, reproducing serial accumulation bit for bit.
 #ifndef SRC_NN_LAYERS_H_
 #define SRC_NN_LAYERS_H_
 
@@ -12,6 +28,7 @@
 
 #include "src/common/rng.h"
 #include "src/tensor/tensor.h"
+#include "src/tensor/tensor_arena.h"
 
 namespace varuna {
 
@@ -19,25 +36,56 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  // Computes the output and caches whatever Backward needs.
-  virtual Tensor Forward(const Tensor& input) = 0;
-  // Propagates the output gradient, *accumulating* parameter gradients.
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  // Computes the output into *out and caches whatever BackwardInto needs.
+  // The caller must keep `input` alive and unmodified until the matching
+  // BackwardInto (layers stash a pointer, not a copy). `input` must not alias
+  // *out. `arena` provides within-call scratch only (released on return).
+  virtual void ForwardInto(const Tensor& input, Tensor* out, TensorArena* arena) = 0;
+  // Propagates the output gradient into *grad_input (which must alias neither
+  // `grad_output` nor the forward input), *accumulating* parameter gradients
+  // two-phase (see file comment).
+  virtual void BackwardInto(const Tensor& grad_output, Tensor* grad_input,
+                            TensorArena* arena) = 0;
+
+  // By-value wrappers over the Into path; same numerics, plus an input copy
+  // so the stashed-pointer contract holds without caller cooperation.
+  Tensor Forward(const Tensor& input);
+  Tensor Backward(const Tensor& grad_output);
+
+  // Structural copy: parameters, gradients and layer config are duplicated;
+  // transient forward/backward state starts fresh. Used to build per-worker
+  // replicas for pooled micro-batch execution.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
 
   virtual std::vector<Tensor*> Parameters() { return {}; }
   virtual std::vector<Tensor*> Gradients() { return {}; }
   virtual std::string name() const = 0;
 
   void ZeroGradients();
+
+ protected:
+  Layer() = default;
+  // Copying never carries wrapper scratch (it is transient per-instance).
+  Layer(const Layer&) {}
+  Layer& operator=(const Layer&) = delete;
+
+ private:
+  // State backing the by-value wrappers.
+  Tensor wrapped_input_;
+  Tensor wrapped_output_;
+  Tensor wrapped_grad_input_;
+  TensorArena wrapper_arena_;
 };
 
 // y = x W + b, with W [in, out] and b [out].
 class Linear : public Layer {
  public:
   Linear(int in_features, int out_features, Rng* rng);
+  Linear(const Linear& other);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* out, TensorArena* arena) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input, TensorArena* arena) override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<Linear>(*this); }
   std::vector<Tensor*> Parameters() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Gradients() override { return {&weight_grad_, &bias_grad_}; }
   std::string name() const override { return "linear"; }
@@ -49,27 +97,39 @@ class Linear : public Layer {
   Tensor bias_;
   Tensor weight_grad_;
   Tensor bias_grad_;
-  Tensor input_;
+  const Tensor* input_ = nullptr;  // Caller-owned; valid until BackwardInto.
 };
 
 // GELU activation (tanh approximation).
 class Gelu : public Layer {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  Gelu() = default;
+  // Transient forward state (tanh stash) starts fresh in the copy.
+  Gelu(const Gelu& other) : Layer(other) {}
+
+  void ForwardInto(const Tensor& input, Tensor* out, TensorArena* arena) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input, TensorArena* arena) override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<Gelu>(*this); }
   std::string name() const override { return "gelu"; }
 
  private:
-  Tensor input_;
+  const Tensor* input_ = nullptr;  // Caller-owned; valid until BackwardInto.
+  // tanh(inner(x)) per element from the last forward. Backward substitutes the
+  // cached value into the seed derivative expression — same float, same
+  // result — and skips the second tanh evaluation (the expensive part of the
+  // derivative).
+  Tensor tanh_;
 };
 
 // LayerNorm over the last dimension with learnable gain and bias.
 class LayerNorm : public Layer {
  public:
   explicit LayerNorm(int features);
+  LayerNorm(const LayerNorm& other);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* out, TensorArena* arena) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input, TensorArena* arena) override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<LayerNorm>(*this); }
   std::vector<Tensor*> Parameters() override { return {&gain_, &bias_}; }
   std::vector<Tensor*> Gradients() override { return {&gain_grad_, &bias_grad_}; }
   std::string name() const override { return "layernorm"; }
@@ -79,9 +139,11 @@ class LayerNorm : public Layer {
   Tensor bias_;
   Tensor gain_grad_;
   Tensor bias_grad_;
+  // Forward statistics BackwardInto reads (value state, so no lifetime
+  // coupling to the caller's input).
   Tensor normalized_;
   Tensor inv_std_;  // [rows].
-  Tensor input_;
+  bool has_state_ = false;
 };
 
 // Pre-norm residual MLP block: x + W2 gelu(W1 ln(x)) — the repetitive
@@ -90,9 +152,11 @@ class LayerNorm : public Layer {
 class MlpBlock : public Layer {
  public:
   MlpBlock(int features, int hidden_multiplier, Rng* rng);
+  MlpBlock(const MlpBlock& other);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* out, TensorArena* arena) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input, TensorArena* arena) override;
+  std::unique_ptr<Layer> Clone() const override { return std::make_unique<MlpBlock>(*this); }
   std::vector<Tensor*> Parameters() override;
   std::vector<Tensor*> Gradients() override;
   std::string name() const override { return "mlp_block"; }
@@ -102,6 +166,14 @@ class MlpBlock : public Layer {
   Linear up_;
   Gelu gelu_;
   Linear down_;
+  // Intermediate activations, reused in place across calls.
+  Tensor norm_out_;
+  Tensor up_out_;
+  Tensor gelu_out_;
+  Tensor down_out_;
+  // Backward ping-pong buffers for the branch gradient.
+  Tensor branch_grad_a_;
+  Tensor branch_grad_b_;
 };
 
 // Ordered stack of layers. Supports slicing into pipeline stages.
@@ -111,8 +183,11 @@ class Sequential : public Layer {
 
   void Append(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* out, TensorArena* arena) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input, TensorArena* arena) override;
+  std::unique_ptr<Layer> Clone() const override { return CloneStack(); }
+  // Typed clone (deep-copies each layer via Layer::Clone).
+  std::unique_ptr<Sequential> CloneStack() const;
   std::vector<Tensor*> Parameters() override;
   std::vector<Tensor*> Gradients() override;
   std::string name() const override { return "sequential"; }
@@ -127,6 +202,10 @@ class Sequential : public Layer {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Per-boundary activations, reused in place across calls.
+  std::vector<Tensor> activations_;
+  // Backward ping-pong buffers between layers.
+  Tensor backward_grads_[2];
 };
 
 // Softmax cross-entropy against integer targets; mean over the batch.
@@ -134,8 +213,12 @@ class SoftmaxCrossEntropy {
  public:
   // logits [batch, classes]; targets one id per row.
   double Loss(const Tensor& logits, const std::vector<int>& targets);
+  // Pointer-based overload for zero-copy target views into a full batch.
+  double Loss(const Tensor& logits, const int* targets, int count);
   // d(loss)/d(logits) for the last Loss() call.
   Tensor Backward() const;
+  // Explicit-output variant of Backward (buffer reused across calls).
+  void BackwardInto(Tensor* grad) const;
 
  private:
   Tensor probabilities_;

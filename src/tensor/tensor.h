@@ -2,6 +2,16 @@
 // Fig. 10). Deliberately small: row-major float32, shape-checked ops, no
 // broadcasting magic — enough to build and train partitioned MLP-block
 // models with exact, reproducible numerics.
+//
+// Two kernel tiers back the GEMM entry points:
+//   * the seed kernels (MatMul*Naive) — straightforward triple loops, kept as
+//     the golden reference and the perf baseline;
+//   * cache-blocked, B-packed kernels (the default) that tile the M/N
+//     dimensions while keeping every output element's k-accumulation order
+//     exactly the seed's (ascending p, float32 adds, zero-skip preserved), so
+//     blocked results are bit-identical to naive results.
+// The *Into variants write into an explicit output tensor whose buffer is
+// reused whenever capacity allows — the zero-allocation training hot path.
 #ifndef SRC_TENSOR_TENSOR_H_
 #define SRC_TENSOR_TENSOR_H_
 
@@ -26,6 +36,12 @@ class Tensor {
   int dim(int axis) const { return shape_[static_cast<size_t>(axis)]; }
   int64_t size() const { return static_cast<int64_t>(data_.size()); }
   bool empty() const { return data_.empty(); }
+  // Heap capacity of the element buffer (for arena best-fit bookkeeping).
+  int64_t capacity() const { return static_cast<int64_t>(data_.capacity()); }
+
+  // Reshapes in place, reusing the existing heap buffer whenever its capacity
+  // allows. Element contents are unspecified afterwards (callers overwrite).
+  void ResizeTo(const std::vector<int>& shape);
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
@@ -49,20 +65,54 @@ class Tensor {
   std::vector<float> data_;
 };
 
+// Kernel tier used by the MatMul* entry points. kBlocked is the default; the
+// switch exists so benchmarks and golden tests can drive the whole trainer
+// through the seed kernels. Not thread-safe: flip only from single-threaded
+// setup code, never while pool workers are running.
+enum class GemmKernel { kBlocked, kNaive };
+void SetGemmKernel(GemmKernel kernel);
+GemmKernel GetGemmKernel();
+
+// Explicit-output GEMM variants. `out` must not alias an operand; it is
+// resized (buffer reused when capacity allows) and fully overwritten.
 // C = A([m,k]) * B([k,n]).
-Tensor MatMul(const Tensor& a, const Tensor& b);
+void MatMulInto(Tensor* out, const Tensor& a, const Tensor& b);
 // C = A([m,k]) * B^T([n,k]).
-Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
+void MatMulTransposeBInto(Tensor* out, const Tensor& a, const Tensor& b);
 // C = A^T([k,m]) * B([k,n]).
+void MatMulTransposeAInto(Tensor* out, const Tensor& a, const Tensor& b);
+
+// By-value wrappers over the *Into kernels.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
 Tensor MatMulTransposeA(const Tensor& a, const Tensor& b);
 
+// The seed kernels, always naive regardless of SetGemmKernel — the golden
+// reference the blocked kernels are asserted bit-identical against.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposeBNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposeANaive(const Tensor& a, const Tensor& b);
+
 Tensor Add(const Tensor& a, const Tensor& b);
+// out = a + b elementwise; out may alias a or b.
+void AddInto(Tensor* out, const Tensor& a, const Tensor& b);
 // Adds a [n] row vector to every row of a [m,n] matrix.
 Tensor AddRowVector(const Tensor& a, const Tensor& row);
+// m += row broadcast over rows (the in-place bias add of the hot path).
+void AddRowVectorInPlace(Tensor* m, const Tensor& row);
+// row_sum([n]) += column sums of m([r,n]), accumulating row by row in
+// ascending row order (the bias-gradient reduction of the hot path).
+void AccumulateRowSumsInto(Tensor* row_sum, const Tensor& m);
 Tensor Hadamard(const Tensor& a, const Tensor& b);
 
 // Row-wise softmax of a [m,n] matrix.
 Tensor RowSoftmax(const Tensor& logits);
+// Explicit-output row softmax; out may alias logits.
+void RowSoftmaxInto(Tensor* out, const Tensor& logits);
+
+// Copies rows [row_begin, row_begin + rows) of src ([R,C]) into out ([rows,C]),
+// reusing out's buffer — the view-based micro-batch split building block.
+void CopyRowsInto(Tensor* out, const Tensor& src, int row_begin, int rows);
 
 // True when shapes and every element match exactly.
 bool Identical(const Tensor& a, const Tensor& b);

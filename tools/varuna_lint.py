@@ -31,7 +31,18 @@ Rules (each can be suppressed on a line with `// varuna-lint: allow(<rule>)`):
                   Bans std::thread / std::jthread / std::async and the
                   <thread> / <future> includes everywhere in src/ except the
                   pool itself (std::mutex / std::condition_variable stay
-                  allowed — locking is fine, spawning is not).
+                  allowed — locking is fine, spawning is not). Using the pool
+                  is itself gated: deterministic fan-out requires
+                  pure-function-of-index work items, so ThreadPool users are
+                  an explicit reviewed allowlist (POOL_USER_FILES) — today the
+                  config search, the elastic trainer, and the pooled
+                  micro-batch trainers in src/train.
+
+  tensor-by-value Passing varuna::Tensor by value copies the whole element
+                  buffer — one stray signature silently reintroduces the
+                  allocation the arena hot path exists to avoid. Function
+                  parameters in src/ must take `const Tensor&` (inputs) or
+                  `Tensor*` (explicit outputs, the *Into style).
 
 Usage:
   tools/varuna_lint.py [paths...]     # default: src/
@@ -73,6 +84,30 @@ THREADING_PATTERNS = [
 ]
 # The one place allowed to create threads.
 THREAD_POOL_FILES = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+
+# Files allowed to *use* the pool. Deterministic fan-out requires
+# pure-function-of-index work items with a fixed merge order, so every new
+# user is a deliberate, reviewed addition to this list.
+POOL_USER_FILES = THREAD_POOL_FILES + (
+    "src/morph/config_search.h",        # parallel candidate evaluation
+    "src/manager/elastic_trainer.h",    # morph planning off the step loop
+    "src/manager/elastic_trainer.cc",
+    "src/train/trainers.h",             # pooled micro-batch execution
+    "src/train/trainers.cc",
+    "src/varuna/varuna.h",              # umbrella header re-export
+)
+# The include path is a string literal, which strip_comments_and_strings
+# empties — so the include pattern is matched against the string-preserving
+# line instead (see lint_file).
+POOL_INCLUDE_RE = re.compile(r'#\s*include\s*"src/common/thread_pool\.h"')
+POOL_USE_RE = re.compile(r"\bThreadPool\b")
+
+# --- tensor-by-value --------------------------------------------------------
+
+# `Tensor <name>` followed by `,` or `)` is a by-value parameter; references,
+# pointers, return types (`Tensor Foo(`), members (`Tensor x_;`) and
+# template arguments (`vector<Tensor>`) all fail the match.
+TENSOR_BY_VALUE_RE = re.compile(r"\bTensor\s+[A-Za-z_]\w*\s*[,)]")
 
 # --- unit-suffix ------------------------------------------------------------
 
@@ -175,6 +210,17 @@ class Linter:
                         self.report(path, number, "threading",
                                     f"{what}: spawn work through the deterministic pool "
                                     "in src/common/thread_pool.h, not ad-hoc threads")
+            if in_src and rel not in POOL_USER_FILES and "threading" not in allowed:
+                if POOL_USE_RE.search(code) or POOL_INCLUDE_RE.search(line.split("//", 1)[0]):
+                    self.report(path, number, "threading",
+                                "ThreadPool use outside the reviewed allowlist; pooled "
+                                "work items must be pure functions of their index — add "
+                                "the file to POOL_USER_FILES deliberately")
+            if in_src and "tensor-by-value" not in allowed:
+                if TENSOR_BY_VALUE_RE.search(code):
+                    self.report(path, number, "tensor-by-value",
+                                "by-value Tensor parameter copies the element buffer; "
+                                "take const Tensor& (input) or Tensor* (output)")
             if unit_scoped and "unit-suffix" not in allowed:
                 for match in DOUBLE_DECL_RE.finditer(code):
                     name = match.group(1)
