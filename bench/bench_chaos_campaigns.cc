@@ -1,0 +1,133 @@
+// Chaos campaign sweep (varuna-verify): runs N seeded random fault campaigns
+// (src/chaos) against full elastic-training sessions and reports aggregate
+// fault/recovery statistics plus wall-clock throughput of the campaign
+// engine itself. Every campaign re-checks the engine's and manager's
+// invariants (the process aborts on any violation) and a sample of seeds is
+// re-run to prove bit-identical replay, so this doubles as a long-running
+// smoke beyond the unit-test battery: `--campaigns 200` is the CI setting.
+//
+//   bench_chaos_campaigns [--campaigns N] [--smoke] [--json PATH]
+//
+// `--campaigns=N` is accepted too. `--smoke` clamps the sweep to 8 campaigns.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/chaos/chaos.h"
+
+namespace varuna {
+namespace {
+
+// IntFromArgs handles "--campaigns N"; this adds the "--campaigns=N" form.
+int CampaignsFromArgs(int argc, char** argv, int fallback) {
+  const std::string prefix = "--campaigns=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atoi(arg.c_str() + prefix.size());
+    }
+  }
+  return IntFromArgs(argc, argv, "--campaigns", fallback);
+}
+
+void Run(int argc, char** argv) {
+  const BenchMode mode = ModeFromArgs(argc, argv);
+  const int campaigns = CampaignsFromArgs(argc, argv, mode.smoke ? 8 : 200);
+
+  std::printf("=== Chaos campaign sweep: %d seeded random campaigns ===\n\n", campaigns);
+
+  int64_t actions = 0;
+  int64_t preemptions = 0;
+  int64_t heartbeat_timeouts = 0;
+  int64_t restarts = 0;
+  int64_t morph_retries = 0;
+  int64_t reprovision_retries = 0;
+  int64_t degraded_intervals = 0;
+  int64_t shards_lost = 0;
+  int64_t shards_corrupted = 0;
+  int64_t minibatches_done = 0;
+  int64_t minibatches_rolled_back = 0;
+  int64_t with_progress = 0;
+  int64_t replays_checked = 0;
+
+  const BenchStats wall = TimeIt(0, 1, [&] {
+    for (int seed = 1; seed <= campaigns; ++seed) {
+      const ChaosCampaignSpec spec = RandomChaosCampaign(static_cast<uint64_t>(seed));
+      const ChaosReport report = RunChaosCampaign(spec);
+      actions += static_cast<int64_t>(spec.plan.actions.size());
+      preemptions += report.stats.preemptions_hit;
+      heartbeat_timeouts += report.stats.heartbeat_timeouts;
+      restarts += report.stats.restarts;
+      morph_retries += report.stats.morph_retries;
+      reprovision_retries += report.stats.reprovision_retries;
+      degraded_intervals += report.stats.degraded_intervals;
+      shards_lost += report.stats.shards_lost;
+      shards_corrupted += report.shards_corrupted_by_chaos;
+      minibatches_done += report.stats.minibatches_done;
+      minibatches_rolled_back += report.stats.minibatches_rolled_back;
+      with_progress += report.stats.minibatches_done > 0 ? 1 : 0;
+      // Every 16th seed: replay the whole campaign and require bit-identity.
+      if (seed % 16 == 1) {
+        const ChaosReport replay = RunChaosCampaign(spec);
+        if (replay.fingerprint != report.fingerprint || !(replay.trace == report.trace)) {
+          std::fprintf(stderr, "FATAL: seed %d replay diverged (%016llx vs %016llx)\n",
+                       seed, static_cast<unsigned long long>(report.fingerprint),
+                       static_cast<unsigned long long>(replay.fingerprint));
+          std::exit(1);
+        }
+        ++replays_checked;
+      }
+    }
+  });
+
+  Table table({"metric", "total", "per campaign"});
+  const double n = campaigns;
+  const auto row = [&](const char* name, int64_t total) {
+    table.AddRow({name, std::to_string(total), Table::Num(total / n, 2)});
+  };
+  row("plan actions", actions);
+  row("announced preemptions hit", preemptions);
+  row("heartbeat timeouts", heartbeat_timeouts);
+  row("restarts (rollback+restore)", restarts);
+  row("morph retries", morph_retries);
+  row("re-provision retries", reprovision_retries);
+  row("degraded-mode intervals", degraded_intervals);
+  row("checkpoint shards lost", shards_lost);
+  row("checkpoint shards corrupted", shards_corrupted);
+  row("mini-batches committed", minibatches_done);
+  row("mini-batches rolled back", minibatches_rolled_back);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("campaigns with forward progress: %lld / %d\n",
+              static_cast<long long>(with_progress), campaigns);
+  std::printf("bit-identical replays verified:  %lld\n",
+              static_cast<long long>(replays_checked));
+  std::printf("wall clock: %.1f ms total, %.2f ms per campaign\n\n", wall.mean_ms,
+              wall.mean_ms / n);
+  std::printf("Every campaign passed SimEngine + ElasticTrainer + CheckpointStore\n"
+              "invariant checks (violations abort the process).\n");
+
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  if (!json_path.empty()) {
+    BenchJsonWriter json("bench_chaos_campaigns");
+    AddBuildMetadata(&json);
+    json.AddScalar("campaigns", n);
+    json.AddScalar("preemptions_hit", static_cast<double>(preemptions));
+    json.AddScalar("heartbeat_timeouts", static_cast<double>(heartbeat_timeouts));
+    json.AddScalar("restarts", static_cast<double>(restarts));
+    json.AddScalar("minibatches_done", static_cast<double>(minibatches_done));
+    json.AddScalar("minibatches_rolled_back", static_cast<double>(minibatches_rolled_back));
+    json.AddScalar("campaigns_with_progress", static_cast<double>(with_progress));
+    json.AddScalar("replays_checked", static_cast<double>(replays_checked));
+    json.AddResult("sweep", wall);
+    json.WriteTo(json_path);
+  }
+}
+
+}  // namespace
+}  // namespace varuna
+
+int main(int argc, char** argv) {
+  varuna::Run(argc, argv);
+  return 0;
+}

@@ -40,6 +40,7 @@ varuna_add_bench(tab4_20b_comparison)
 varuna_add_bench(tab5_gpipe_comparison)
 varuna_add_bench(tab6_pipeline_systems)
 varuna_add_bench(tab7_simulator_accuracy)
+varuna_add_bench(bench_chaos_campaigns)
 varuna_add_bench(bench_config_search)
 varuna_add_bench(bench_training_step)
 varuna_add_bench(ablation_varuna_design)

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/chaos/chaos.h"
 
 namespace varuna {
 namespace {
@@ -82,6 +83,18 @@ void Run(int hours) {
               static_cast<long long>(stats.minibatches_done), stats.examples_processed);
   std::printf("  morphs: %d   preemptions hit: %d   stutter replacements: %d   checkpoints: %d\n",
               stats.morphs, stats.preemptions_hit, stats.stutters_detected, stats.checkpoints);
+  std::printf("  recovery: %lld restarts, %lld heartbeat timeouts, %lld morph retries, "
+              "%lld shards lost\n",
+              static_cast<long long>(stats.restarts),
+              static_cast<long long>(stats.heartbeat_timeouts),
+              static_cast<long long>(stats.morph_retries),
+              static_cast<long long>(stats.shards_lost));
+  std::printf("  conservation: %lld attempted = %lld done + %lld rolled back "
+              "(max rollback %lld)\n",
+              static_cast<long long>(stats.minibatches_attempted),
+              static_cast<long long>(stats.minibatches_done),
+              static_cast<long long>(stats.minibatches_rolled_back),
+              static_cast<long long>(stats.max_rollback_minibatches));
   std::printf("  stalled (restores + waiting): %.1f h (%.1f%% of wall clock)\n",
               stats.stalled_s / kHour, 100.0 * stats.stalled_s / (hours * kHour));
   std::printf("  total ex/s varied %.0f..%.0f (%.1fx) while ex/s/GPU varied only "
@@ -111,10 +124,59 @@ void Run(int hours) {
               "can harvest the much larger 1-GPU spot pool (Figure 3).\n");
 }
 
+// The same morphing story under a deliberately adversarial fault schedule
+// (src/chaos): an eviction wave inside the checkpoint window, unannounced
+// kills of shard-owning VMs mid-flush, a fail-stutter burst and a capacity
+// crash. The session must end conserving every attempted mini-batch, and the
+// whole campaign replays bit-identically.
+void RunAdversarial() {
+  std::printf("\n=== Figure 8 (adversarial): scripted chaos campaign, GPT-2 medium ===\n\n");
+  ChaosCampaignSpec spec = DefaultChaosCampaign(/*seed=*/7);
+  spec.horizon_s = 3.0 * kHour;
+  spec.plan = ChaosPlan::Scripted({
+      {/*at_s=*/1800.0, ChaosActionKind::kPreemptionStorm, /*count=*/4,
+       /*duration_s=*/60.0, /*magnitude=*/0.0},
+      {/*at_s=*/3600.0, ChaosActionKind::kTargetedShardKill, /*count=*/2,
+       /*duration_s=*/1800.0, /*magnitude=*/0.0},
+      {/*at_s=*/6000.0, ChaosActionKind::kFailStutterBurst, /*count=*/2,
+       /*duration_s=*/1200.0, /*magnitude=*/0.3},
+      {/*at_s=*/8400.0, ChaosActionKind::kCapacityCrash, /*count=*/1,
+       /*duration_s=*/1200.0, /*magnitude=*/0.25},
+  });
+  const ChaosReport report = RunChaosCampaign(spec);
+  const SessionStats& stats = report.stats;
+
+  Table table({"recovery counter", "value"});
+  table.AddRow({"announced preemptions hit", std::to_string(stats.preemptions_hit)});
+  table.AddRow({"preemptions survived", std::to_string(stats.preemptions_survived)});
+  table.AddRow({"heartbeat timeouts", std::to_string(stats.heartbeat_timeouts)});
+  table.AddRow({"restarts (rollback+restore)", std::to_string(stats.restarts)});
+  table.AddRow({"morph retries", std::to_string(stats.morph_retries)});
+  table.AddRow({"re-provision retries", std::to_string(stats.reprovision_retries)});
+  table.AddRow({"degraded-mode intervals", std::to_string(stats.degraded_intervals)});
+  table.AddRow({"checkpoint shards lost", std::to_string(stats.shards_lost)});
+  table.AddRow({"mini-batches committed", std::to_string(stats.minibatches_done)});
+  table.AddRow({"mini-batches rolled back", std::to_string(stats.minibatches_rolled_back)});
+  table.AddRow({"max rollback (mini-batches)", std::to_string(stats.max_rollback_minibatches)});
+  std::printf("%s", table.Render().c_str());
+  std::printf("conservation: %lld attempted = %lld done + %lld rolled back\n",
+              static_cast<long long>(stats.minibatches_attempted),
+              static_cast<long long>(stats.minibatches_done),
+              static_cast<long long>(stats.minibatches_rolled_back));
+
+  const ChaosReport replay = RunChaosCampaign(spec);
+  std::printf("campaign fingerprint: %016llx (replay %s)\n",
+              static_cast<unsigned long long>(report.fingerprint),
+              replay.fingerprint == report.fingerprint && replay.trace == report.trace
+                  ? "bit-identical"
+                  : "DIVERGED");
+}
+
 }  // namespace
 }  // namespace varuna
 
 int main(int argc, char** argv) {
   varuna::Run(argc > 1 ? std::atoi(argv[1]) : 60);
+  varuna::RunAdversarial();
   return 0;
 }

@@ -25,7 +25,17 @@ void Cluster::AddVms(const VmType& type, int count) {
 void Cluster::Preempt(VmId vm) {
   VARUNA_CHECK_GE(vm, 0);
   VARUNA_CHECK_LT(vm, num_vms());
+  if (!vms_[static_cast<size_t>(vm)].active) {
+    return;  // Already dead; observers were notified the first time.
+  }
   vms_[static_cast<size_t>(vm)].active = false;
+  for (const PreemptionObserver& observer : preemption_observers_) {
+    observer(vm);
+  }
+}
+
+void Cluster::AddPreemptionObserver(PreemptionObserver observer) {
+  preemption_observers_.push_back(std::move(observer));
 }
 
 void Cluster::SetSlowFactor(VmId vm, double factor) {

@@ -5,6 +5,7 @@
 #ifndef SRC_CLUSTER_CLUSTER_H_
 #define SRC_CLUSTER_CLUSTER_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/cluster/vm.h"
@@ -32,8 +33,18 @@ class Cluster {
   // Convenience: add `count` identical VMs.
   void AddVms(const VmType& type, int count);
 
+  // Deactivates `vm` and notifies every registered observer, in registration
+  // order. Idempotent: preempting an already-inactive VM is a no-op and does
+  // not re-notify (chaos kills and market reclaims can race on the same VM).
   void Preempt(VmId vm);
   bool IsActive(VmId vm) const { return Vm(vm).active; }
+
+  // Observers fire synchronously from Preempt() exactly once per VM death.
+  // Registration order is the notification order, so runs stay deterministic.
+  // Used by the checkpoint store (local shards die with their VM) and the
+  // fail-stutter injector (a preempted VM must leave the exclusion set).
+  using PreemptionObserver = std::function<void(VmId)>;
+  void AddPreemptionObserver(PreemptionObserver observer);
 
   void SetSlowFactor(VmId vm, double factor);
 
@@ -58,6 +69,7 @@ class Cluster {
   Network network_;
   std::vector<VmInstance> vms_;
   std::vector<VmId> gpu_to_vm_;
+  std::vector<PreemptionObserver> preemption_observers_;
 };
 
 }  // namespace varuna

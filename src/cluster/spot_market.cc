@@ -33,6 +33,27 @@ void SpotMarket::SetMeanAvailability(int pool, double mean) {
   pools_.at(static_cast<size_t>(pool)).dynamics.mean_availability = mean;
 }
 
+int SpotMarket::ForcePreempt(int pool, int count) {
+  VARUNA_CHECK_GE(count, 0);
+  Pool& p = pools_.at(static_cast<size_t>(pool));
+  int preempted = 0;
+  while (preempted < count && p.granted > 0) {
+    PreemptOne(pool);
+    ++preempted;
+  }
+  return preempted;
+}
+
+void SpotMarket::CrashAvailability(int pool, double fraction) {
+  VARUNA_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  Pool& p = pools_.at(static_cast<size_t>(pool));
+  p.availability = fraction;
+  const int capacity = Capacity(pool);
+  while (p.granted > capacity) {
+    PreemptOne(pool);
+  }
+}
+
 void SpotMarket::Start() {
   VARUNA_CHECK(!started_) << "SpotMarket started twice";
   started_ = true;

@@ -56,6 +56,20 @@ class SpotMarket {
   // toward the new mean at the configured rate.
   void SetMeanAvailability(int pool, double mean);
 
+  // Chaos hooks (src/chaos): adversarial event timings the organic dynamics
+  // cannot be steered into on demand.
+  //
+  // Immediately reclaims up to `count` granted VMs from the pool (uniformly at
+  // random via the market Rng, so storms replay deterministically). Returns
+  // how many were actually preempted.
+  int ForcePreempt(int pool, int count);
+  // Instantly collapses the pool's availability to `fraction` of max_vms and
+  // reclaims every granted VM above the new capacity (no hysteresis — this
+  // models a datacenter-wide eviction wave, not a wiggle). The mean is left
+  // unchanged, so availability reverts afterwards unless the caller also
+  // lowers it with SetMeanAvailability().
+  void CrashAvailability(int pool, double fraction);
+
   void set_grant_handler(GrantHandler handler) { on_grant_ = std::move(handler); }
   void set_preempt_handler(PreemptHandler handler) { on_preempt_ = std::move(handler); }
 

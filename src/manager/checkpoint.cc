@@ -6,35 +6,174 @@
 
 namespace varuna {
 
+bool CheckpointRecord::Complete() const {
+  if (shards.empty()) {
+    return false;
+  }
+  return std::all_of(shards.begin(), shards.end(), [](const CheckpointShard& shard) {
+    return shard.state == ShardState::kFlushed;
+  });
+}
+
+bool CheckpointRecord::Usable() const {
+  if (shards.empty()) {
+    return false;
+  }
+  return std::all_of(shards.begin(), shards.end(), [](const CheckpointShard& shard) {
+    return shard.state == ShardState::kWritten || shard.state == ShardState::kFlushed;
+  });
+}
+
 double CheckpointStore::BeginCheckpoint(int64_t minibatch_id, double total_params,
-                                        int data_parallel) {
+                                        int data_parallel,
+                                        const std::vector<VmId>& shard_owners) {
   VARUNA_CHECK_GE(data_parallel, 1);
   VARUNA_CHECK_GT(total_params, 0.0);
+  VARUNA_CHECK(shard_owners.empty() ||
+               shard_owners.size() == static_cast<size_t>(data_parallel));
   const double total_bytes = kCheckpointBytesPerParam * total_params;
   // Replicas shard the write; each stage writes its own layers, all in
   // parallel, so the stall is one shard over local SSD.
   const double shard_bytes = total_bytes / data_parallel;
   const double stall = shard_bytes / options_.ssd_write_bps;
-  latest_local_ = minibatch_id;
+
+  CheckpointRecord record;
+  record.minibatch_id = minibatch_id;
+  const int64_t generation = ++next_generation_;
+  record.generation = generation;
+  record.shards.resize(static_cast<size_t>(data_parallel));
+  for (size_t s = 0; s < record.shards.size(); ++s) {
+    record.shards[s].owner = shard_owners.empty() ? -1 : shard_owners[s];
+  }
+  // A rollback past this step and re-checkpoint overwrites the old record;
+  // the generation keeps the old record's in-flight flush events inert.
+  records_[minibatch_id] = std::move(record);
   ++checkpoints_written_;
 
-  // Background upload of the whole checkpoint (VMs upload their shards in
-  // parallel; the slowest shard gates completion).
+  // Background upload, one event per shard (VMs upload their shards in
+  // parallel). A shard whose local copy is lost mid-flight never promotes.
   const double upload = shard_bytes / options_.cloud_upload_bps;
-  engine_->Schedule(stall + upload, [this, minibatch_id] {
-    latest_cloud_ = std::max(latest_cloud_, minibatch_id);
-  });
+  for (int s = 0; s < data_parallel; ++s) {
+    engine_->Schedule(stall + upload, [this, minibatch_id, generation, s] {
+      const auto it = records_.find(minibatch_id);
+      if (it == records_.end() || it->second.generation != generation) {
+        return;  // Record superseded by a re-checkpoint of the same step.
+      }
+      CheckpointShard& shard = it->second.shards[static_cast<size_t>(s)];
+      if (shard.state == ShardState::kWritten) {
+        shard.state = ShardState::kFlushed;
+        ++flushes_completed_;
+      }
+    });
+  }
   return stall;
 }
 
-int64_t CheckpointStore::LatestRestorable(bool local_shards_lost) const {
-  return local_shards_lost ? latest_cloud_ : latest_local_;
+int64_t CheckpointStore::LatestComplete() const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->second.Complete()) {
+      return it->first;
+    }
+  }
+  return -1;
+}
+
+int64_t CheckpointStore::LatestUsable() const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->second.Usable()) {
+      return it->first;
+    }
+  }
+  return -1;
 }
 
 double CheckpointStore::RestoreDuration(double total_params, int data_parallel) const {
   const double total_bytes = kCheckpointBytesPerParam * total_params;
   const double shard_bytes = total_bytes / std::max(1, data_parallel);
   return options_.restore_setup_s + shard_bytes / options_.cloud_read_bps;
+}
+
+void CheckpointStore::OnVmLost(VmId vm) {
+  if (vm < 0) {
+    return;
+  }
+  for (auto& [id, record] : records_) {
+    for (CheckpointShard& shard : record.shards) {
+      if (shard.owner == vm && shard.state == ShardState::kWritten) {
+        shard.state = ShardState::kLost;
+        ++shards_lost_;
+      }
+    }
+  }
+}
+
+bool CheckpointStore::CorruptShard(int64_t minibatch_id, int shard) {
+  const auto it = records_.find(minibatch_id);
+  if (it == records_.end() || shard < 0 ||
+      shard >= static_cast<int>(it->second.shards.size())) {
+    return false;
+  }
+  CheckpointShard& target = it->second.shards[static_cast<size_t>(shard)];
+  if (target.state == ShardState::kLost || target.state == ShardState::kCorrupt) {
+    return false;
+  }
+  target.state = ShardState::kCorrupt;
+  ++shards_corrupted_;
+  return true;
+}
+
+std::vector<VmId> CheckpointStore::ShardOwnersInFlight() const {
+  std::vector<VmId> owners;
+  for (const auto& [id, record] : records_) {
+    for (const CheckpointShard& shard : record.shards) {
+      if (shard.state == ShardState::kWritten && shard.owner >= 0) {
+        owners.push_back(shard.owner);
+      }
+    }
+  }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+const CheckpointRecord* CheckpointStore::Record(int64_t minibatch_id) const {
+  const auto it = records_.find(minibatch_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void CheckpointStore::CheckInvariants() const {
+  // Re-checkpoints of a rolled-back step overwrite their record, so the
+  // written counter bounds the live record count rather than equalling it.
+  VARUNA_CHECK_GE(checkpoints_written_, static_cast<int>(records_.size()));
+  int64_t lost = 0;
+  int64_t corrupt = 0;
+  int64_t flushed = 0;
+  for (const auto& [id, record] : records_) {
+    VARUNA_CHECK_EQ(record.minibatch_id, id);
+    VARUNA_CHECK(!record.shards.empty());
+    for (const CheckpointShard& shard : record.shards) {
+      switch (shard.state) {
+        case ShardState::kLost:
+          ++lost;
+          break;
+        case ShardState::kCorrupt:
+          ++corrupt;
+          break;
+        case ShardState::kFlushed:
+          ++flushed;
+          break;
+        case ShardState::kWritten:
+          break;
+      }
+    }
+  }
+  // The counters are monotone event counts; overwritten records took their
+  // shard states with them, so the live scan can only undercount.
+  VARUNA_CHECK_GE(shards_lost_, lost);
+  VARUNA_CHECK_GE(shards_corrupted_, corrupt);
+  VARUNA_CHECK_GE(flushes_completed_, flushed);
+  // Complete => Usable, so the complete frontier can never be newer.
+  VARUNA_CHECK_LE(LatestComplete(), LatestUsable());
 }
 
 }  // namespace varuna

@@ -2,14 +2,20 @@
 // section at mini-batch boundaries; data-parallel replicas shard the writes.
 // Checkpoints land on local SSD first (briefly blocking training) and upload
 // to cloud storage in the background; after a preemption the job resumes from
-// the latest *cloud-complete* checkpoint, possibly with a different pipeline
-// depth (per-section granularity is what makes re-mapping possible).
+// the newest checkpoint that is still *complete* — every shard either safely
+// in cloud storage or on a VM that is still alive. Shards are tracked
+// individually (written / flushed / lost / corrupt) because the hostile spot
+// market kills shard-holding VMs mid-flush and cloud objects can be damaged;
+// resume must then fall back to the newest earlier complete checkpoint, never
+// to a checkpoint with holes.
 #ifndef SRC_MANAGER_CHECKPOINT_H_
 #define SRC_MANAGER_CHECKPOINT_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "src/cluster/cluster.h"
 #include "src/sim/engine.h"
 
 namespace varuna {
@@ -25,6 +31,34 @@ struct CheckpointOptions {
 // Bytes checkpointed per parameter: fp32 master + Adam m/v + fp16 weights.
 constexpr double kCheckpointBytesPerParam = 14.0;
 
+// Lifecycle of one data-parallel shard of one checkpoint.
+enum class ShardState : uint8_t {
+  kWritten,  // On the owner VM's local SSD; cloud upload in flight.
+  kFlushed,  // Replicated to cloud storage; survives any VM death.
+  kLost,     // Local copy died with its VM before the flush completed.
+  kCorrupt,  // Cloud object lost or corrupted; detected at restore scan.
+};
+
+struct CheckpointShard {
+  ShardState state = ShardState::kWritten;
+  VmId owner = -1;  // VM holding the local copy (-1 = untracked).
+};
+
+struct CheckpointRecord {
+  int64_t minibatch_id = -1;
+  // Distinguishes re-checkpoints of the same step (training rolled back past
+  // it and re-covered it): stale flush events from an overwritten record must
+  // not promote the new record's shards.
+  int64_t generation = 0;
+  std::vector<CheckpointShard> shards;
+
+  // Every shard reached cloud storage: restorable no matter which VMs die.
+  bool Complete() const;
+  // No shard lost or corrupt: restorable right now (kWritten shards read from
+  // their still-alive owners' SSDs, the rest from cloud).
+  bool Usable() const;
+};
+
 class CheckpointStore {
  public:
   CheckpointStore(SimEngine* engine, CheckpointOptions options)
@@ -32,28 +66,68 @@ class CheckpointStore {
 
   // Begins a checkpoint of `total_params` parameters at `minibatch_id`,
   // sharded across `data_parallel` replicas. Returns the foreground stall
-  // (local SSD write of the largest shard); the cloud upload completes later
-  // and is tracked internally.
-  double BeginCheckpoint(int64_t minibatch_id, double total_params, int data_parallel);
+  // (local SSD write of one shard); each shard's cloud flush completes later
+  // and is tracked per shard. `shard_owners` (optional, size data_parallel)
+  // names the VM holding each shard's local copy so OnVmLost() can mark the
+  // right shards lost.
+  double BeginCheckpoint(int64_t minibatch_id, double total_params, int data_parallel,
+                         const std::vector<VmId>& shard_owners = {});
 
-  // Latest mini-batch whose checkpoint has fully reached cloud storage
-  // (-1 if none). Local-only checkpoints are usable too unless a VM holding a
-  // shard was lost; the caller tells us via `local_shards_lost`.
-  int64_t LatestRestorable(bool local_shards_lost) const;
+  // Newest checkpoint whose shards all reached cloud storage (-1 if none).
+  int64_t LatestComplete() const;
+  // Newest checkpoint with no lost/corrupt shard (-1 if none): restorable as
+  // long as the kWritten shards' owners stay up. This is what resume uses —
+  // the "last complete global step" resolution.
+  int64_t LatestUsable() const;
+
+  // Legacy view kept for the pre-shard-tracking call sites:
+  // local_shards_lost=false -> LatestUsable(), true -> LatestComplete().
+  int64_t LatestRestorable(bool local_shards_lost) const {
+    return local_shards_lost ? LatestComplete() : LatestUsable();
+  }
 
   // Time to restore the given checkpoint onto a new configuration.
   double RestoreDuration(double total_params, int data_parallel) const;
 
-  int64_t latest_local() const { return latest_local_; }
-  int64_t latest_cloud() const { return latest_cloud_; }
+  // Marks every not-yet-flushed shard owned by `vm` as lost (the local copy
+  // died with the VM). Idempotent; called from the cluster's preemption
+  // observer for announced *and* unannounced VM deaths.
+  void OnVmLost(VmId vm);
+
+  // Chaos hook: damages the cloud object of shard `shard` of checkpoint
+  // `minibatch_id` (loss and corruption are indistinguishable at restore —
+  // missing blob vs. checksum mismatch both make the shard unusable). Returns
+  // false if no such shard exists or it is already unusable.
+  bool CorruptShard(int64_t minibatch_id, int shard);
+
+  // VMs owning a shard whose flush is still in flight (state kWritten), over
+  // all records, deduplicated ascending. The chaos engine targets these for
+  // the "kill every VM holding a shard mid-flush" storm.
+  std::vector<VmId> ShardOwnersInFlight() const;
+
+  const CheckpointRecord* Record(int64_t minibatch_id) const;
+
+  int64_t latest_local() const { return LatestUsable(); }
+  int64_t latest_cloud() const { return LatestComplete(); }
   int checkpoints_written() const { return checkpoints_written_; }
+  int64_t shards_lost() const { return shards_lost_; }
+  int64_t shards_corrupted() const { return shards_corrupted_; }
+  int64_t flushes_completed() const { return flushes_completed_; }
+
+  // Aborts via VARUNA_CHECK on inconsistent shard bookkeeping.
+  void CheckInvariants() const;
 
  private:
   SimEngine* engine_;
   CheckpointOptions options_;
-  int64_t latest_local_ = -1;
-  int64_t latest_cloud_ = -1;
+  // Keyed (and therefore iterated) by mini-batch id, ascending: the
+  // latest-complete scan is deterministic by construction.
+  std::map<int64_t, CheckpointRecord> records_;
+  int64_t next_generation_ = 0;
   int checkpoints_written_ = 0;
+  int64_t shards_lost_ = 0;
+  int64_t shards_corrupted_ = 0;
+  int64_t flushes_completed_ = 0;
 };
 
 }  // namespace varuna

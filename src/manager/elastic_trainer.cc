@@ -1,6 +1,7 @@
 #include "src/manager/elastic_trainer.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
 #include "src/common/stats.h"
@@ -33,6 +34,14 @@ void ElasticTrainer::Start() {
   market_->set_grant_handler(
       [this](SpotMarket::MarketVmId id, const VmType& type) { OnVmGranted(id, type); });
   market_->set_preempt_handler([this](SpotMarket::MarketVmId id) { OnVmPreempted(id); });
+  // Physical-layer bookkeeping for *every* VM death, announced or not: local
+  // checkpoint shards die with their VM. The control path deliberately does
+  // not hang off this observer — unannounced deaths must be discovered
+  // through missed heartbeats, which is the recovery path under test.
+  cluster_->AddPreemptionObserver([this](VmId vm) {
+    checkpoints_.OnVmLost(vm);
+    stats_.shards_lost = checkpoints_.shards_lost();
+  });
   market_->SetDemand(market_pool_, options_.demand_vms);
   stall_started_ = engine_->now();
   engine_->Schedule(options_.provision_check_interval_s, [this] { ProvisionTick(); });
@@ -73,6 +82,12 @@ void ElasticTrainer::OnVmPreempted(SpotMarket::MarketVmId id) {
   for (const GpuId gpu : placement_->AllGpus()) {
     if (cluster_->VmOfGpu(gpu) == vm) {
       ++stats_.preemptions_hit;
+      ++unsurvived_preemptions_;
+      if (restore_in_flight_) {
+        // The restore window itself was killed; the coming morph is a retry.
+        ++stats_.morph_retries;
+        ++consecutive_recovery_failures_;
+      }
       running_ = false;
       minibatch_in_flight_ = false;
       ++epoch_;
@@ -81,7 +96,12 @@ void ElasticTrainer::OnVmPreempted(SpotMarket::MarketVmId id) {
       }
       if (!preemption_morph_pending_) {
         preemption_morph_pending_ = true;
-        engine_->Schedule(30.0, [this] { DeferredPreemptionMorph(); });
+        // Within the retry budget, re-morph quickly; past it, assume the
+        // market is churning faster than we can restore and back off.
+        const double delay = consecutive_recovery_failures_ >= options_.max_morph_attempts
+                                 ? BackoffDelay()
+                                 : 30.0;
+        engine_->Schedule(delay, [this] { DeferredPreemptionMorph(); });
       }
       return;
     }
@@ -93,14 +113,37 @@ void ElasticTrainer::DeferredPreemptionMorph() {
   if (running_) {
     return;  // Something else already reconfigured.
   }
-  // Progress after the last restorable checkpoint is lost (local shards died
-  // with the evicted VMs).
-  const int64_t restorable = checkpoints_.LatestRestorable(/*local_shards_lost=*/true);
-  const int64_t lost =
-      std::max<int64_t>(0, stats_.minibatches_done - std::max<int64_t>(restorable, 0));
-  stats_.minibatches_done -= lost;
-  stats_.examples_processed -= static_cast<double>(lost) * options_.total_batch;
+  RollbackToCheckpoint();
   Reconfigure("morph", /*lost_state=*/true);
+}
+
+int64_t ElasticTrainer::RollbackToCheckpoint() {
+  // Per-shard tracking makes LatestUsable() the true resume frontier: shards
+  // whose owners died mid-flush were already demoted by OnVmLost, so this
+  // falls back to the newest checkpoint with no holes.
+  const int64_t restorable = checkpoints_.LatestUsable();
+  const int64_t target = std::max<int64_t>(restorable, 0);
+  const int64_t lost = std::max<int64_t>(0, stats_.minibatches_done - target);
+  ++stats_.restarts;
+  stats_.last_restore_step = restorable;
+  stats_.shards_lost = checkpoints_.shards_lost();
+  if (lost > 0) {
+    // Refund exactly what each lost mini-batch committed (ActualBatch varies
+    // across morphs, so a flat total_batch refund would leak examples).
+    double lost_examples = 0.0;
+    while (!committed_ledger_.empty() && committed_ledger_.back().first >= target) {
+      lost_examples += committed_ledger_.back().second;
+      committed_ledger_.pop_back();
+    }
+    stats_.minibatches_done -= lost;
+    stats_.minibatches_rolled_back += lost;
+    stats_.max_rollback_minibatches = std::max(stats_.max_rollback_minibatches, lost);
+    stats_.examples_processed -= lost_examples;
+    stats_.examples_rolled_back += lost_examples;
+  }
+  // The next checkpoint must re-cover everything after the restore point.
+  last_checkpointed_minibatch_ = std::min(last_checkpointed_minibatch_, restorable);
+  return restorable;
 }
 
 void ElasticTrainer::TryBootstrap() {
@@ -126,37 +169,69 @@ void ElasticTrainer::TryBootstrap() {
   Reconfigure("configure", /*lost_state=*/false);
 }
 
-void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state) {
-  if (!search_) {
-    TryBootstrap();
-    return;
-  }
+SearchConstraints ElasticTrainer::MakeConstraints(bool degraded) const {
   SearchConstraints constraints;
   constraints.total_batch = options_.total_batch;
   constraints.budget = options_.budget;
   constraints.gpus_per_node = vm_type_.node.num_gpus;
   constraints.shared_sync_bytes = shared_sync_bytes_;
-  constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer;
+  // Degraded mode forces the CPU-offload memory model: slower steps, but the
+  // smaller per-GPU footprint lets shallower pipelines fit when capacity has
+  // collapsed below what the normal model can place.
+  constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer || degraded;
+  return constraints;
+}
 
-  const Result<JobConfig> best = search_->Best(AvailableGpus(), constraints);
-  SyncSearchStats();
-  if (!best.ok()) {
-    // Not enough capacity for any configuration: stay stalled; ProvisionTick
-    // and future grants will retry.
-    running_ = false;
+void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state) {
+  if (!search_) {
+    TryBootstrap();
+    if (!search_) {
+      ScheduleReprovisionRetry();  // Not even enough capacity to calibrate.
+    }
     return;
   }
-  Result<Placement> placement =
-      PlaceJob(*cluster_, best.value().pipeline_depth, best.value().data_parallel, blacklist_);
-  if (!placement.ok()) {
+  const int gpus = AvailableGpus();
+  const bool was_degraded = degraded_;
+
+  const auto attempt = [&](bool degraded) {
+    const Result<JobConfig> best = search_->Best(gpus, MakeConstraints(degraded));
+    SyncSearchStats();
+    if (!best.ok()) {
+      return false;
+    }
+    Result<Placement> placement = PlaceJob(*cluster_, best.value().pipeline_depth,
+                                           best.value().data_parallel, blacklist_);
+    if (!placement.ok()) {
+      return false;
+    }
+    config_ = best.value();
+    placement_ = std::move(placement).value();
+    return true;
+  };
+
+  bool configured = attempt(/*degraded=*/false);
+  if (configured) {
+    degraded_ = false;
+  } else if (options_.allow_degraded_mode) {
+    configured = attempt(/*degraded=*/true);
+    if (configured && !was_degraded) {
+      degraded_ = true;
+      ++stats_.degraded_intervals;
+    } else if (configured) {
+      degraded_ = true;
+    }
+  }
+  if (!configured) {
+    // Not enough capacity for any configuration, even degraded: stay stalled
+    // and retry with backoff (grants and ProvisionTick also retry).
     running_ = false;
+    ++consecutive_recovery_failures_;
+    ScheduleReprovisionRetry();
     return;
   }
 
   ++epoch_;
-  last_growth_check_gpus_ = AvailableGpus();
-  config_ = best.value();
-  placement_ = std::move(placement).value();
+  last_growth_check_gpus_ = gpus;
   partition_ = PartitionModel(sections_, config_->pipeline_depth).value();
   cached_minibatch_s_ = 0.0;  // Force re-measurement.
   cached_slow_factors_.clear();
@@ -174,16 +249,59 @@ void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state)
   stats_.stalled_s += restore_delay;
   ++stats_.morphs;
   running_ = true;
+  restore_in_flight_ = true;
+  if (was_degraded && !degraded_) {
+    RecordEvent("recover");
+  } else if (!was_degraded && degraded_) {
+    RecordEvent("degraded");
+  }
   RecordEvent(event_kind);
+  if (morph_observer_) {
+    morph_observer_(event_kind, restore_delay);
+  }
   ScheduleNextMinibatch(restore_delay);
+}
+
+double ElasticTrainer::BackoffDelay() {
+  const int failures = std::min(consecutive_recovery_failures_, 16);
+  const double delay = std::min(std::ldexp(options_.reprovision_backoff_base_s, failures),
+                                options_.reprovision_backoff_max_s);
+  // Seeded jitter decorrelates retry storms without breaking replayability.
+  return delay * rng_.Uniform(0.75, 1.25);
+}
+
+void ElasticTrainer::ScheduleReprovisionRetry() {
+  if (reprovision_retry_pending_) {
+    return;
+  }
+  reprovision_retry_pending_ = true;
+  ++stats_.reprovision_retries;
+  engine_->Schedule(BackoffDelay(), [this] {
+    reprovision_retry_pending_ = false;
+    if (running_) {
+      return;  // A grant or provision tick already recovered the job.
+    }
+    if (!search_) {
+      TryBootstrap();
+      if (!search_) {
+        ScheduleReprovisionRetry();
+      }
+      return;
+    }
+    Reconfigure("configure", stats_.minibatches_done > 0);
+  });
 }
 
 double ElasticTrainer::MeasuredMinibatchSeconds() {
   std::vector<double> slow_factors;
+  bool placement_intact = true;
   for (const GpuId gpu : placement_->AllGpus()) {
     slow_factors.push_back(cluster_->SlowFactor(gpu));
+    placement_intact = placement_intact && cluster_->GpuActive(gpu);
   }
-  if (cached_minibatch_s_ > 0.0 && slow_factors == cached_slow_factors_) {
+  if (cached_minibatch_s_ > 0.0 && (slow_factors == cached_slow_factors_ || !placement_intact)) {
+    // A dead VM in the placement means the job is limping toward a heartbeat
+    // timeout; keep the cadence rather than re-measuring a broken pipeline.
     return cached_minibatch_s_;
   }
   // The sweep already generated+validated this shape; the cache hands it back.
@@ -193,8 +311,8 @@ double ElasticTrainer::MeasuredMinibatchSeconds() {
       sections_, partition_.value(), vm_type_.gpu, config_->microbatch_size);
   ExecutorOptions exec_options;
   exec_options.shared_state_sync_bytes = shared_sync_bytes_;
-  exec_options.cpu_offload_optimizer = options_.cpu_offload_optimizer;
-  if (options_.cpu_offload_optimizer) {
+  exec_options.cpu_offload_optimizer = OffloadActive();
+  if (OffloadActive()) {
     exec_options.cpu_offload_bytes_per_stage =
         12.0 * spec_.TotalParams() / config_->pipeline_depth;
   }
@@ -217,8 +335,15 @@ void ElasticTrainer::ScheduleNextMinibatch(double extra_delay) {
   bool checkpointing = false;
   if (stats_.minibatches_done - last_checkpointed_minibatch_ >=
       options_.checkpoint_every_minibatches) {
+    // Each data-parallel replica's stage-0 VM owns that replica's shard; the
+    // store needs the owners to demote shards when their VM dies mid-flush.
+    std::vector<VmId> shard_owners;
+    shard_owners.reserve(static_cast<size_t>(config_->data_parallel));
+    for (int replica = 0; replica < config_->data_parallel; ++replica) {
+      shard_owners.push_back(cluster_->VmOfGpu(placement_->At(replica, 0)));
+    }
     duration += checkpoints_.BeginCheckpoint(stats_.minibatches_done, spec_.TotalParams(),
-                                             config_->data_parallel);
+                                             config_->data_parallel, shard_owners);
     last_checkpointed_minibatch_ = stats_.minibatches_done;
     ++stats_.checkpoints;
     checkpointing = true;
@@ -237,8 +362,22 @@ void ElasticTrainer::OnMinibatchDone(int64_t epoch) {
   if (!running_) {
     return;
   }
+  const int64_t minibatch_id = stats_.minibatches_done;
+  const double batch = config_->ActualBatch();
+  ++stats_.minibatches_attempted;
   ++stats_.minibatches_done;
-  stats_.examples_processed += config_->ActualBatch();
+  stats_.examples_attempted += batch;
+  stats_.examples_processed += batch;
+  committed_ledger_.emplace_back(minibatch_id, batch);
+  if (restore_in_flight_) {
+    // First commit of the new configuration: the recovery stuck.
+    restore_in_flight_ = false;
+    consecutive_recovery_failures_ = 0;
+  }
+  if (unsurvived_preemptions_ > 0) {
+    stats_.preemptions_survived += unsurvived_preemptions_;
+    unsurvived_preemptions_ = 0;
+  }
   ProcessHeartbeats();
   if (epoch != epoch_ || !running_) {
     return;  // Heartbeat processing replaced the configuration.
@@ -246,23 +385,77 @@ void ElasticTrainer::OnMinibatchDone(int64_t epoch) {
   ScheduleNextMinibatch(0.0);
 }
 
+bool ElasticTrainer::HeartbeatsMuted(VmId vm) const {
+  const auto it = heartbeat_mute_until_.find(vm);
+  return it != heartbeat_mute_until_.end() && it->second > engine_->now();
+}
+
+void ElasticTrainer::MuteHeartbeats(VmId vm, double duration_s) {
+  VARUNA_CHECK_GE(vm, 0);
+  VARUNA_CHECK_GT(duration_s, 0.0);
+  double& deadline = heartbeat_mute_until_[vm];
+  deadline = std::max(deadline, engine_->now() + duration_s);
+}
+
+std::vector<VmId> ElasticTrainer::PlacementVms() const {
+  std::vector<VmId> vms;
+  if (!placement_.has_value()) {
+    return vms;
+  }
+  for (const GpuId gpu : placement_->AllGpus()) {
+    vms.push_back(cluster_->VmOfGpu(gpu));
+  }
+  std::sort(vms.begin(), vms.end());
+  vms.erase(std::unique(vms.begin(), vms.end()), vms.end());
+  return vms;
+}
+
 void ElasticTrainer::ProcessHeartbeats() {
   // Each task reports its per-micro-batch compute time; with identical
   // stages+replicas, outliers against the median expose fail-stutter VMs.
+  // VMs that died unannounced (or whose heartbeats chaos dropped) report
+  // nothing at all and accumulate missed beats toward the timeout.
   if (!running_ || !placement_.has_value()) {
     return;
   }
+  const std::vector<GpuId> gpus = placement_->AllGpus();
+  std::vector<GpuId> reporting;
   std::vector<double> heartbeat_times;
-  std::vector<GpuId> gpus = placement_->AllGpus();
+  std::vector<VmId> silent;
   for (const GpuId gpu : gpus) {
+    const VmId vm = cluster_->VmOfGpu(gpu);
+    if (!cluster_->IsActive(vm) || HeartbeatsMuted(vm)) {
+      if (std::find(silent.begin(), silent.end(), vm) == silent.end()) {
+        silent.push_back(vm);
+      }
+      continue;
+    }
+    reporting.push_back(gpu);
     heartbeat_times.push_back(cluster_->SlowFactor(gpu) *
                               rng_.LogNormalMedian(1.0, 0.01));
   }
+  for (const GpuId gpu : reporting) {
+    missed_heartbeats_.erase(cluster_->VmOfGpu(gpu));
+  }
+  std::vector<VmId> dead;
+  for (const VmId vm : silent) {
+    if (++missed_heartbeats_[vm] >= options_.heartbeat_timeout_beats) {
+      dead.push_back(vm);
+    }
+  }
+  if (!dead.empty()) {
+    std::sort(dead.begin(), dead.end());
+    HandleHeartbeatTimeout(dead);
+    return;
+  }
+  if (reporting.empty()) {
+    return;
+  }
   const double median = Percentile(heartbeat_times, 0.5);
   std::vector<GpuId> stutterers;
-  for (size_t i = 0; i < gpus.size(); ++i) {
+  for (size_t i = 0; i < reporting.size(); ++i) {
     if (heartbeat_times[i] > options_.stutter_threshold * median) {
-      stutterers.push_back(gpus[i]);
+      stutterers.push_back(reporting[i]);
     }
   }
   if (stutterers.empty()) {
@@ -286,11 +479,47 @@ void ElasticTrainer::ProcessHeartbeats() {
   Reconfigure("replace", /*lost_state=*/false);
 }
 
+void ElasticTrainer::HandleHeartbeatTimeout(const std::vector<VmId>& dead) {
+  for (const VmId vm : dead) {
+    missed_heartbeats_.erase(vm);
+    // A VM the manager cannot reach is a VM whose local shards it cannot
+    // read; treat them as lost even if the VM is merely partitioned.
+    checkpoints_.OnVmLost(vm);
+    for (const GpuId gpu : cluster_->topology().GpusOfNode(cluster_->Vm(vm).node)) {
+      if (std::find(blacklist_.begin(), blacklist_.end(), gpu) == blacklist_.end()) {
+        blacklist_.push_back(gpu);
+      }
+    }
+    ++stats_.heartbeat_timeouts;
+    ++unsurvived_preemptions_;
+  }
+  if (restore_in_flight_) {
+    ++stats_.morph_retries;
+    ++consecutive_recovery_failures_;
+  }
+  running_ = false;
+  minibatch_in_flight_ = false;
+  ++epoch_;
+  if (stall_started_ < 0.0) {
+    stall_started_ = engine_->now();
+  }
+  RollbackToCheckpoint();
+  Reconfigure("heartbeat-timeout", /*lost_state=*/true);
+}
+
 void ElasticTrainer::ProvisionTick() {
   engine_->Schedule(options_.provision_check_interval_s, [this] { ProvisionTick(); });
   // Heal the blacklist: VMs recover from stutter episodes; give them another
-  // chance if they are no longer slow.
-  std::erase_if(blacklist_, [this](GpuId gpu) { return cluster_->SlowFactor(gpu) == 1.0; });
+  // chance if they are no longer slow. Entries for dead VMs are dropped too
+  // (they can never be placed again), which keeps the list bounded, and muted
+  // VMs stay blacklisted until their heartbeats come back.
+  std::erase_if(blacklist_, [this](GpuId gpu) {
+    const VmId vm = cluster_->VmOfGpu(gpu);
+    if (!cluster_->IsActive(vm)) {
+      return true;
+    }
+    return cluster_->SlowFactor(gpu) == 1.0 && !HeartbeatsMuted(vm);
+  });
 
   if (!running_) {
     TryBootstrap();
@@ -299,22 +528,30 @@ void ElasticTrainer::ProvisionTick() {
     }
     return;
   }
+  const int available = AvailableGpus();
+  if (degraded_) {
+    // Degraded mode is a stopgap: leave it the moment the normal memory model
+    // fits again (the sweep is memoized, so re-asking is cheap).
+    const Result<JobConfig> normal = search_->Best(available, MakeConstraints(false));
+    SyncSearchStats();
+    if (normal.ok()) {
+      running_ = false;
+      minibatch_in_flight_ = false;
+      ++epoch_;
+      stall_started_ = engine_->now();
+      Reconfigure("morph", /*lost_state=*/false);
+      return;
+    }
+  }
   // Growth: if spare capacity admits a materially better configuration,
   // checkpoint and morph into it. The sweep only reruns when availability
   // moved materially since the last evaluation.
-  const int available = AvailableGpus();
   if (std::abs(available - last_growth_check_gpus_) <
       std::max(4, last_growth_check_gpus_ / 12)) {
     return;
   }
   last_growth_check_gpus_ = available;
-  SearchConstraints constraints;
-  constraints.total_batch = options_.total_batch;
-  constraints.budget = options_.budget;
-  constraints.gpus_per_node = vm_type_.node.num_gpus;
-  constraints.shared_sync_bytes = shared_sync_bytes_;
-  constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer;
-  const Result<JobConfig> best = search_->Best(AvailableGpus(), constraints);
+  const Result<JobConfig> best = search_->Best(available, MakeConstraints(degraded_));
   SyncSearchStats();
   if (!best.ok()) {
     return;
@@ -329,6 +566,34 @@ void ElasticTrainer::ProvisionTick() {
     ++epoch_;
     stall_started_ = engine_->now();
     Reconfigure("morph", /*lost_state=*/false);
+  }
+}
+
+void ElasticTrainer::CheckInvariants() const {
+  checkpoints_.CheckInvariants();
+  // Conservation: every attempted mini-batch is either committed or rolled
+  // back — no silent sample loss, re-work bounded by the checkpoint cadence.
+  VARUNA_CHECK_EQ(stats_.minibatches_attempted,
+                  stats_.minibatches_done + stats_.minibatches_rolled_back);
+  const double example_drift = std::abs(
+      stats_.examples_attempted - (stats_.examples_processed + stats_.examples_rolled_back));
+  VARUNA_CHECK_LE(example_drift, 1e-6 * std::max(1.0, stats_.examples_attempted));
+  // The ledger mirrors the committed set exactly, in order.
+  VARUNA_CHECK_EQ(static_cast<int64_t>(committed_ledger_.size()), stats_.minibatches_done);
+  for (size_t i = 1; i < committed_ledger_.size(); ++i) {
+    VARUNA_CHECK_LT(committed_ledger_[i - 1].first, committed_ledger_[i].first);
+  }
+  VARUNA_CHECK_GE(stats_.minibatches_done, 0);
+  VARUNA_CHECK_GE(stats_.examples_processed, -1e-9);
+  // Survived recoveries come from announced evictions (preemptions_hit) and
+  // from unannounced kills discovered via heartbeat timeout.
+  VARUNA_CHECK_GE(stats_.preemptions_hit + stats_.heartbeat_timeouts,
+                  stats_.preemptions_survived);
+  VARUNA_CHECK_EQ(stats_.shards_lost, checkpoints_.shards_lost());
+  if (running_) {
+    VARUNA_CHECK(config_.has_value());
+    VARUNA_CHECK(placement_.has_value());
+    VARUNA_CHECK(partition_.has_value());
   }
 }
 

@@ -2,16 +2,36 @@
 // simulated cluster: it wires the spot market to the cluster, calibrates once
 // at startup, picks configurations with the O(G) search, runs mini-batches on
 // the DES testbed, checkpoints continuously, watches heartbeats for
-// fail-stutter outliers, morphs on preemptions and on growth opportunities,
-// and records the Figure-8 timeline.
+// fail-stutter outliers and timeouts, morphs on preemptions and on growth
+// opportunities, and records the Figure-8 timeline.
+//
+// Recovery paths (hardened against the src/chaos campaigns):
+//  * Heartbeat timeout — a VM that misses `heartbeat_timeout_beats`
+//    consecutive heartbeat evaluations (unannounced death, or chaos-dropped
+//    heartbeats) is declared dead; the job rolls back to the newest usable
+//    checkpoint and reconfigures without it.
+//  * Re-provisioning backoff — when no configuration fits (capacity collapse),
+//    retries are scheduled with exponential backoff and seeded jitter rather
+//    than busy-spinning on the market.
+//  * Morph retry budget — a restore window killed by another preemption
+//    retries; after `max_morph_attempts` consecutive recovery failures the
+//    manager stops assuming the optimal config will ever place and falls back.
+//  * Degraded mode — when capacity collapses below what the optimal search can
+//    use, the manager re-searches with the CPU-offload memory model (slower,
+//    but feasible at shallower depths) instead of stalling; it morphs back to
+//    the normal mode as soon as a provision tick finds capacity for it.
+// All of it is driven by the one seeded Rng, so chaos campaigns replay
+// bit-identically (src/varuna/determinism.h).
 #ifndef SRC_MANAGER_ELASTIC_TRAINER_H_
 #define SRC_MANAGER_ELASTIC_TRAINER_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -43,6 +63,20 @@ struct TrainerOptions {
   double provision_check_interval_s = 900.0;
   // Planned morphs require at least this relative throughput gain.
   double morph_improvement_threshold = 0.10;
+  // A VM missing this many consecutive heartbeat evaluations is declared
+  // dead (process crash / unannounced preemption / partition).
+  int heartbeat_timeout_beats = 3;
+  // Exponential backoff for re-provisioning retries after a failed
+  // reconfiguration: base * 2^k, capped, with +/-25% seeded jitter.
+  double reprovision_backoff_base_s = 60.0;
+  double reprovision_backoff_max_s = 1800.0;
+  // Consecutive recovery failures (failed searches/placements, killed restore
+  // windows) before the manager gives up on the optimal configuration and
+  // tries the degraded fallback immediately.
+  int max_morph_attempts = 4;
+  // Allow the degraded (CPU-offload) fallback when the normal search finds
+  // nothing for the current capacity.
+  bool allow_degraded_mode = true;
   CalibrationOptions calibration;
   CheckpointOptions checkpoint;
   MemoryBudget budget;
@@ -59,7 +93,9 @@ struct TrainerOptions {
 
 struct TimelineEvent {
   double time_s = 0.0;
-  std::string kind;  // "configure", "morph", "replace", "preempt-stall", "stutter".
+  // "configure", "morph", "replace", "heartbeat-timeout", "degraded",
+  // "recover".
+  std::string kind;
   int pipeline_depth = 0;
   int data_parallel = 0;
   int gpus_available = 0;
@@ -81,9 +117,29 @@ struct SessionStats {
   int64_t minibatches_done = 0;
   int morphs = 0;
   int preemptions_hit = 0;  // Preemptions that interrupted the job.
+  // Preemptions after which training subsequently made progress again — the
+  // paper's headline "training survives" counter.
+  int preemptions_survived = 0;
   int stutters_detected = 0;
   int checkpoints = 0;
   double stalled_s = 0.0;  // Time spent restoring / waiting for capacity.
+  // --- Recovery counters (chaos campaigns assert against these). -----------
+  int restarts = 0;            // Rollback-and-restore recoveries.
+  int heartbeat_timeouts = 0;  // VMs declared dead via missed heartbeats.
+  int morph_retries = 0;       // Restore windows killed and re-attempted.
+  int reprovision_retries = 0; // Backoff-scheduled reconfiguration retries.
+  int degraded_intervals = 0;  // Entries into the degraded (offload) mode.
+  int64_t shards_lost = 0;     // Checkpoint shards that died with their VM.
+  // Conservation ledger: every mini-batch completion is attempted; a restore
+  // rolls the uncheckpointed tail back. attempted == done + rolled_back
+  // always (ElasticTrainer::CheckInvariants), so no sample is ever silently
+  // lost and re-work is bounded by the checkpoint cadence.
+  int64_t minibatches_attempted = 0;
+  int64_t minibatches_rolled_back = 0;
+  double examples_attempted = 0.0;
+  double examples_rolled_back = 0.0;
+  int64_t max_rollback_minibatches = 0;  // Deepest single rollback.
+  int64_t last_restore_step = -1;        // Checkpoint id of the latest restore.
   // Morph-decision cost trackers: sweeps memoized by (G, calibration,
   // constraints) resolve without re-simulation when a spot trace revisits a
   // cluster size (snapshot of the ConfigSearch counters).
@@ -104,7 +160,29 @@ class ElasticTrainer {
 
   const SessionStats& stats() const { return stats_; }
   bool job_running() const { return running_; }
+  bool degraded() const { return degraded_; }
   const std::optional<JobConfig>& current_config() const { return config_; }
+  const CheckpointStore& checkpoints() const { return checkpoints_; }
+
+  // --- Chaos hooks (src/chaos; also usable from tests). --------------------
+  // Drops `vm`'s heartbeats for `duration_s` simulated seconds. The VM keeps
+  // computing; the manager just stops hearing from it and must decide via the
+  // timeout policy.
+  void MuteHeartbeats(VmId vm, double duration_s);
+  // Distinct VMs hosting the current placement (empty when not running).
+  std::vector<VmId> PlacementVms() const;
+  // Mutable store access for shard-corruption injection.
+  CheckpointStore* mutable_checkpoints() { return &checkpoints_; }
+  // Observer fired when a reconfiguration succeeds, with the restore delay
+  // about to be paid (0 for a fresh configure). The chaos engine uses it to
+  // land mid-morph preemptions inside the restore window.
+  using MorphObserver = std::function<void(const std::string& kind, double restore_delay_s)>;
+  void set_morph_observer(MorphObserver observer) { morph_observer_ = std::move(observer); }
+
+  // Aborts via VARUNA_CHECK if the manager state or the conservation ledger
+  // is inconsistent. O(session) on the stats vectors — call from tests and
+  // campaign teardown, not hot loops.
+  void CheckInvariants() const;
 
  private:
   void OnVmGranted(SpotMarket::MarketVmId id, const VmType& type);
@@ -121,7 +199,24 @@ class ElasticTrainer {
   void ScheduleNextMinibatch(double extra_delay);
   void OnMinibatchDone(int64_t epoch);
   void ProcessHeartbeats();
+  // Declares `dead` (ordered, deduplicated) lost after missed heartbeats:
+  // blacklists them, rolls back, reconfigures.
+  void HandleHeartbeatTimeout(const std::vector<VmId>& dead);
   void ProvisionTick();
+
+  // Rolls the session back to the newest usable checkpoint; updates the
+  // conservation ledger. Returns the checkpoint step restored (-1 = from
+  // scratch).
+  int64_t RollbackToCheckpoint();
+  // Schedules a jittered exponential-backoff reconfiguration retry (no-op if
+  // one is already pending).
+  void ScheduleReprovisionRetry();
+  double BackoffDelay();
+  // True while `vm`'s heartbeats are muted by chaos.
+  bool HeartbeatsMuted(VmId vm) const;
+  SearchConstraints MakeConstraints(bool degraded) const;
+  // Offload applies when the user asked for it or degraded mode forces it.
+  bool OffloadActive() const { return options_.cpu_offload_optimizer || degraded_; }
 
   // Measured mini-batch duration for the current placement (re-measured when
   // the placement or any member's slow factor changes).
@@ -170,6 +265,26 @@ class ElasticTrainer {
   // availability moved materially (morphs are not free).
   int last_growth_check_gpus_ = 0;
   double stall_started_ = -1.0;
+
+  // --- Recovery state. -----------------------------------------------------
+  bool degraded_ = false;
+  // True from a successful Reconfigure until the first mini-batch of the new
+  // epoch completes — a preemption in this window is a failed morph.
+  bool restore_in_flight_ = false;
+  int consecutive_recovery_failures_ = 0;
+  bool reprovision_retry_pending_ = false;
+  // Simulated-time deadline until which each muted VM stays silent.
+  std::map<VmId, double> heartbeat_mute_until_;
+  std::map<VmId, int> missed_heartbeats_;
+  // (mini-batch id, examples committed) for every committed-and-not-rolled-
+  // back mini-batch, in order: rollbacks refund exactly what each lost
+  // mini-batch committed, even across morphs that changed ActualBatch().
+  std::deque<std::pair<int64_t, double>> committed_ledger_;
+  // Preemptions hit since the last committed mini-batch; they count as
+  // "survived" once training makes progress again.
+  int unsurvived_preemptions_ = 0;
+
+  MorphObserver morph_observer_;
 
   SessionStats stats_;
 };

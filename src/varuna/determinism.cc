@@ -66,6 +66,16 @@ uint64_t ElasticTrace::Fingerprint() const {
   fnv.U64(static_cast<uint64_t>(preemptions_hit));
   fnv.U64(static_cast<uint64_t>(checkpoints));
   fnv.F64(examples_processed);
+  fnv.U64(static_cast<uint64_t>(preemptions_survived));
+  fnv.U64(static_cast<uint64_t>(restarts));
+  fnv.U64(static_cast<uint64_t>(heartbeat_timeouts));
+  fnv.U64(static_cast<uint64_t>(morph_retries));
+  fnv.U64(static_cast<uint64_t>(reprovision_retries));
+  fnv.U64(static_cast<uint64_t>(degraded_intervals));
+  fnv.U64(static_cast<uint64_t>(shards_lost));
+  fnv.U64(static_cast<uint64_t>(minibatches_rolled_back));
+  fnv.F64(examples_rolled_back);
+  fnv.U64(static_cast<uint64_t>(last_restore_step));
   fnv.U64(event_times_s.size());
   for (const double t : event_times_s) {
     fnv.F64(t);
@@ -81,6 +91,37 @@ uint64_t ElasticTrace::Fingerprint() const {
     fnv.F64(rate);
   }
   return fnv.hash();
+}
+
+ElasticTrace CaptureElasticTrace(const SimEngine& engine, const ElasticTrainer& trainer) {
+  ElasticTrace trace;
+  trace.events_processed = engine.events_processed();
+  trace.final_now_s = engine.now();
+  const SessionStats& stats = trainer.stats();
+  trace.minibatches_done = stats.minibatches_done;
+  trace.morphs = stats.morphs;
+  trace.preemptions_hit = stats.preemptions_hit;
+  trace.checkpoints = stats.checkpoints;
+  trace.examples_processed = stats.examples_processed;
+  trace.preemptions_survived = stats.preemptions_survived;
+  trace.restarts = stats.restarts;
+  trace.heartbeat_timeouts = stats.heartbeat_timeouts;
+  trace.morph_retries = stats.morph_retries;
+  trace.reprovision_retries = stats.reprovision_retries;
+  trace.degraded_intervals = stats.degraded_intervals;
+  trace.shards_lost = stats.shards_lost;
+  trace.minibatches_rolled_back = stats.minibatches_rolled_back;
+  trace.examples_rolled_back = stats.examples_rolled_back;
+  trace.last_restore_step = stats.last_restore_step;
+  for (const TimelineEvent& event : stats.events) {
+    trace.event_times_s.push_back(event.time_s);
+    trace.event_kinds.push_back(event.kind);
+  }
+  for (const TimelineSample& sample : stats.samples) {
+    trace.sample_times_s.push_back(sample.time_s);
+    trace.sample_examples_per_s.push_back(sample.examples_per_s);
+  }
+  return trace;
 }
 
 ElasticTrace RunElasticScenario(const DeterminismScenario& scenario) {
@@ -103,25 +144,8 @@ ElasticTrace RunElasticScenario(const DeterminismScenario& scenario) {
   market.Start();
   engine.RunUntil(scenario.horizon_s);
   engine.CheckInvariants();
-
-  ElasticTrace trace;
-  trace.events_processed = engine.events_processed();
-  trace.final_now_s = engine.now();
-  const SessionStats& stats = trainer.stats();
-  trace.minibatches_done = stats.minibatches_done;
-  trace.morphs = stats.morphs;
-  trace.preemptions_hit = stats.preemptions_hit;
-  trace.checkpoints = stats.checkpoints;
-  trace.examples_processed = stats.examples_processed;
-  for (const TimelineEvent& event : stats.events) {
-    trace.event_times_s.push_back(event.time_s);
-    trace.event_kinds.push_back(event.kind);
-  }
-  for (const TimelineSample& sample : stats.samples) {
-    trace.sample_times_s.push_back(sample.time_s);
-    trace.sample_examples_per_s.push_back(sample.examples_per_s);
-  }
-  return trace;
+  trainer.CheckInvariants();
+  return CaptureElasticTrace(engine, trainer);
 }
 
 }  // namespace varuna

@@ -19,6 +19,7 @@
 
 #include "src/manager/elastic_trainer.h"
 #include "src/model/transformer.h"
+#include "src/sim/engine.h"
 
 namespace varuna {
 
@@ -48,6 +49,17 @@ struct ElasticTrace {
   int preemptions_hit = 0;
   int checkpoints = 0;
   double examples_processed = 0.0;
+  // Recovery counters (chaos campaigns replay these bit-identically too).
+  int preemptions_survived = 0;
+  int restarts = 0;
+  int heartbeat_timeouts = 0;
+  int morph_retries = 0;
+  int reprovision_retries = 0;
+  int degraded_intervals = 0;
+  int64_t shards_lost = 0;
+  int64_t minibatches_rolled_back = 0;
+  double examples_rolled_back = 0.0;
+  int64_t last_restore_step = -1;
   // (time_s, kind) for every manager timeline event, in order.
   std::vector<double> event_times_s;
   std::vector<std::string> event_kinds;
@@ -61,6 +73,11 @@ struct ElasticTrace {
   // IEEE-754 bits, so "bit-identical" means exactly that).
   uint64_t Fingerprint() const;
 };
+
+// Snapshots the observable state of a finished (or paused) session into a
+// trace. Shared by RunElasticScenario and the chaos campaign runner, so both
+// fingerprint runs the same way.
+ElasticTrace CaptureElasticTrace(const SimEngine& engine, const ElasticTrainer& trainer);
 
 ElasticTrace RunElasticScenario(const DeterminismScenario& scenario);
 

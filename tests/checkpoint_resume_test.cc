@@ -1,0 +1,200 @@
+// Numeric checkpoint-resume bit-identity (§4.5 meets varuna-verify): a
+// training session snapshotted through the CheckpointStore and restored into
+// a fresh trainer must continue on the *exact* trajectory of an unpreempted
+// run — identical per-step losses (as doubles, bit for bit) and identical
+// final parameters. The negative tests destroy shards (lost mid-flush,
+// corrupted in cloud storage) and pin the fallback: resume restarts from the
+// newest *complete* earlier checkpoint, never from a record with holes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/manager/checkpoint.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/synthetic_task.h"
+#include "src/sim/engine.h"
+#include "src/train/trainers.h"
+
+namespace varuna {
+namespace {
+
+constexpr int kVocab = 12;
+constexpr int kWidth = 16;
+constexpr int kBlocks = 6;
+constexpr uint64_t kModelSeed = 88;
+constexpr uint64_t kDataSeed = 5000;
+constexpr int kBatchRows = 16;
+constexpr int kMicrobatch = 4;
+constexpr int kTotalSteps = 20;
+constexpr double kParams = 2.5e9;  // Checkpoint sizing only; not the nn model.
+
+std::unique_ptr<Sequential> FreshModel() {
+  Rng rng(kModelSeed);
+  return BuildBlockModel(kVocab, kWidth, kBlocks, &rng);
+}
+
+// A resumable training session: the batch for global step t is regenerated
+// from a per-step seed, exactly as a data loader seeks to a sample offset
+// after restore.
+struct Session {
+  ReferenceTrainer trainer;
+  AdamOptimizer opt;
+  MarkovTask task;
+
+  Session()
+      : trainer(FreshModel()),
+        opt(trainer.Parameters(), trainer.Gradients(), 3e-3f),
+        task(kVocab, 9) {}
+
+  double Step(int t) {
+    Rng rng(kDataSeed + static_cast<uint64_t>(t));
+    const Batch batch = task.Sample(kBatchRows, &rng);
+    opt.ZeroGradients();
+    const double loss = trainer.TrainStep(batch, kMicrobatch);
+    opt.Step();
+    return loss;
+  }
+};
+
+std::vector<double> RunClean() {
+  Session session;
+  std::vector<double> losses;
+  for (int t = 0; t < kTotalSteps; ++t) {
+    losses.push_back(session.Step(t));
+  }
+  return losses;
+}
+
+void ExpectBitIdenticalTail(Session* clean, Session* resumed,
+                            const std::vector<double>& clean_losses, int64_t restore_step) {
+  std::vector<double> resumed_losses;
+  for (int t = static_cast<int>(restore_step); t < kTotalSteps; ++t) {
+    resumed_losses.push_back(resumed->Step(t));
+  }
+  for (size_t i = 0; i < resumed_losses.size(); ++i) {
+    // Exact double equality: the trajectory is the same computation.
+    EXPECT_EQ(resumed_losses[i],
+              clean_losses[static_cast<size_t>(restore_step) + i])
+        << "step " << restore_step + static_cast<int64_t>(i);
+  }
+  const auto clean_params = clean->trainer.Parameters();
+  const auto restored = resumed->trainer.Parameters();
+  ASSERT_EQ(clean_params.size(), restored.size());
+  for (size_t i = 0; i < clean_params.size(); ++i) {
+    EXPECT_TRUE(Identical(*clean_params[i], *restored[i])) << "param " << i;
+  }
+}
+
+// Trains a victim session, snapshotting through `store` every 5 steps with
+// the given owners and (optionally) letting each flush complete, up to
+// `crash_step`. Payloads are keyed by checkpoint step.
+void RunVictim(SimEngine* engine, CheckpointStore* store,
+               std::map<int64_t, ParameterCheckpoint>* payloads, int crash_step,
+               bool flush_last) {
+  Session victim;
+  for (int t = 0; t < crash_step; ++t) {
+    if (t > 0 && t % 5 == 0) {
+      store->BeginCheckpoint(t, kParams, /*data_parallel=*/2, {2 * (t / 5), 2 * (t / 5) + 1});
+      (*payloads)[t] = SnapshotParameters(victim.trainer.Parameters(), victim.opt);
+      const bool last = t + 5 > crash_step - 1;
+      if (!last || flush_last) {
+        engine->RunUntil(engine->now() + 3600.0);  // Cloud flush completes.
+      }
+    }
+    victim.Step(t);
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeFromLatestUsableIsBitIdenticalToCleanRun) {
+  Session clean;
+  std::vector<double> clean_losses;
+  for (int t = 0; t < kTotalSteps; ++t) {
+    clean_losses.push_back(clean.Step(t));
+  }
+
+  SimEngine engine;
+  CheckpointStore store(&engine, CheckpointOptions());
+  std::map<int64_t, ParameterCheckpoint> payloads;
+  RunVictim(&engine, &store, &payloads, /*crash_step=*/13, /*flush_last=*/true);
+
+  // Crash at step 13: steps 10..12 are gone; the newest usable checkpoint is
+  // the one written before step 10.
+  const int64_t restore = store.LatestUsable();
+  ASSERT_EQ(restore, 10);
+  Session resumed;
+  RestoreParameters(payloads.at(restore), resumed.trainer.Parameters(), &resumed.opt);
+  ExpectBitIdenticalTail(&clean, &resumed, clean_losses, restore);
+}
+
+TEST(CheckpointResumeTest, ShardLostMidFlushFallsBackToPriorCompleteStep) {
+  const std::vector<double> clean_losses = RunClean();
+  Session clean;
+  for (int t = 0; t < kTotalSteps; ++t) {
+    clean.Step(t);
+  }
+
+  SimEngine engine;
+  CheckpointStore store(&engine, CheckpointOptions());
+  std::map<int64_t, ParameterCheckpoint> payloads;
+  // The step-10 checkpoint's flush never completes: its owner VM dies with
+  // the only local copy.
+  RunVictim(&engine, &store, &payloads, /*crash_step=*/13, /*flush_last=*/false);
+  ASSERT_EQ(store.LatestUsable(), 10);  // Alive owners => still readable...
+  store.OnVmLost(4);                    // ...until the owner of shard 0 dies.
+  EXPECT_EQ(store.LatestComplete(), 5);
+  EXPECT_EQ(store.LatestUsable(), 5);
+  EXPECT_GT(store.shards_lost(), 0);
+  store.CheckInvariants();
+
+  const int64_t restore = store.LatestUsable();
+  Session resumed;
+  RestoreParameters(payloads.at(restore), resumed.trainer.Parameters(), &resumed.opt);
+  ExpectBitIdenticalTail(&clean, &resumed, clean_losses, restore);
+}
+
+TEST(CheckpointResumeTest, CorruptShardFallsBackToOlderCheckpoint) {
+  const std::vector<double> clean_losses = RunClean();
+  Session clean;
+  for (int t = 0; t < kTotalSteps; ++t) {
+    clean.Step(t);
+  }
+
+  SimEngine engine;
+  CheckpointStore store(&engine, CheckpointOptions());
+  std::map<int64_t, ParameterCheckpoint> payloads;
+  RunVictim(&engine, &store, &payloads, /*crash_step=*/13, /*flush_last=*/true);
+  ASSERT_EQ(store.LatestUsable(), 10);
+  EXPECT_TRUE(store.CorruptShard(10, 0));
+  EXPECT_FALSE(store.CorruptShard(10, 0));  // Already unusable.
+  EXPECT_EQ(store.LatestUsable(), 5);
+  store.CheckInvariants();
+
+  const int64_t restore = store.LatestUsable();
+  Session resumed;
+  RestoreParameters(payloads.at(restore), resumed.trainer.Parameters(), &resumed.opt);
+  ExpectBitIdenticalTail(&clean, &resumed, clean_losses, restore);
+}
+
+TEST(CheckpointResumeTest, AllCheckpointsDestroyedMeansRestartFromScratch) {
+  const std::vector<double> clean_losses = RunClean();
+
+  SimEngine engine;
+  CheckpointStore store(&engine, CheckpointOptions());
+  std::map<int64_t, ParameterCheckpoint> payloads;
+  RunVictim(&engine, &store, &payloads, /*crash_step=*/13, /*flush_last=*/true);
+  EXPECT_TRUE(store.CorruptShard(10, 0));
+  EXPECT_TRUE(store.CorruptShard(5, 1));
+  EXPECT_EQ(store.LatestUsable(), -1);
+  store.CheckInvariants();
+
+  // Nothing to restore: a fresh session must retrace the clean run exactly.
+  Session restarted;
+  for (int t = 0; t < kTotalSteps; ++t) {
+    EXPECT_EQ(restarted.Step(t), clean_losses[static_cast<size_t>(t)]) << "step " << t;
+  }
+}
+
+}  // namespace
+}  // namespace varuna

@@ -225,5 +225,58 @@ TEST(FailStutterTest, InjectsAndRecovers) {
   }
 }
 
+// Regression: a VM preempted mid-episode must leave the injector's exclusion
+// set immediately, and the episode's pending end event must become a no-op.
+// Before the observer-based cleanup, dead VMs accumulated in the set forever
+// and the stale EndEpisode fired against a reused/recycled id.
+TEST(FailStutterTest, PreemptionMidEpisodeClearsExclusionSet) {
+  SimEngine engine;
+  Cluster cluster(CommodityFabric());
+  cluster.AddVms(Nc6V3(), 4);
+  FailStutterOptions options;
+  options.autonomous_onsets = false;  // Episodes only via Burst().
+  FailStutterInjector injector(&engine, &cluster, Rng(5), options);
+  injector.Start();
+
+  ASSERT_EQ(injector.Burst(1, 1.3, /*duration_s=*/1200.0), 1);
+  VmId victim = -1;
+  for (VmId vm = 0; vm < cluster.num_vms(); ++vm) {
+    if (injector.IsDegraded(vm)) {
+      victim = vm;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  EXPECT_EQ(injector.active_episodes(), 1);
+
+  // Kill the victim mid-episode: the exclusion entry must clear at once.
+  cluster.Preempt(victim);
+  EXPECT_FALSE(injector.IsDegraded(victim));
+  EXPECT_EQ(injector.active_episodes(), 0);
+  EXPECT_EQ(injector.episodes_cleared_by_preemption(), 1);
+  EXPECT_EQ(injector.episodes_ended(), 0);
+
+  // The stale end-of-episode event fires against a cleared generation: no-op.
+  engine.RunUntil(2400.0);
+  EXPECT_EQ(injector.episodes_ended(), 0);
+  EXPECT_EQ(injector.active_episodes(), 0);
+
+  // The injector still works afterwards, picking a live, healthy VM.
+  ASSERT_EQ(injector.Burst(1, 1.2, /*duration_s=*/60.0), 1);
+  VmId second = -1;
+  for (VmId vm = 0; vm < cluster.num_vms(); ++vm) {
+    if (injector.IsDegraded(vm)) {
+      second = vm;
+    }
+  }
+  ASSERT_GE(second, 0);
+  EXPECT_NE(second, victim);
+  EXPECT_TRUE(cluster.IsActive(second));
+  engine.RunUntil(engine.now() + 120.0);
+  EXPECT_EQ(injector.episodes_ended(), 1);
+  EXPECT_EQ(injector.active_episodes(), 0);
+  EXPECT_DOUBLE_EQ(cluster.Vm(second).slow_factor, 1.0);
+  engine.CheckInvariants();
+}
+
 }  // namespace
 }  // namespace varuna
