@@ -14,7 +14,10 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "bench/legacy_sim_engine.h"
+#include "bench/sim_core_workload.h"
 #include "src/chaos/chaos.h"
+#include "src/sim/engine.h"
 
 namespace varuna {
 namespace {
@@ -50,6 +53,9 @@ void Run(int argc, char** argv) {
   int64_t minibatches_rolled_back = 0;
   int64_t with_progress = 0;
   int64_t replays_checked = 0;
+  int64_t executor_events = 0;
+  int64_t ring_cache_hits = 0;
+  int64_t ring_cache_misses = 0;
 
   const BenchStats wall = TimeIt(0, 1, [&] {
     for (int seed = 1; seed <= campaigns; ++seed) {
@@ -67,6 +73,9 @@ void Run(int argc, char** argv) {
       minibatches_done += report.stats.minibatches_done;
       minibatches_rolled_back += report.stats.minibatches_rolled_back;
       with_progress += report.stats.minibatches_done > 0 ? 1 : 0;
+      executor_events += static_cast<int64_t>(report.stats.executor_events);
+      ring_cache_hits += static_cast<int64_t>(report.stats.net_ring_cache_hits);
+      ring_cache_misses += static_cast<int64_t>(report.stats.net_ring_cache_misses);
       // Every 16th seed: replay the whole campaign and require bit-identity.
       if (seed % 16 == 1) {
         const ChaosReport replay = RunChaosCampaign(spec);
@@ -97,6 +106,9 @@ void Run(int argc, char** argv) {
   row("checkpoint shards corrupted", shards_corrupted);
   row("mini-batches committed", minibatches_done);
   row("mini-batches rolled back", minibatches_rolled_back);
+  row("testbed sim events", executor_events);
+  row("ring-cost cache hits", ring_cache_hits);
+  row("ring-cost cache misses", ring_cache_misses);
   std::printf("%s\n", table.Render().c_str());
   std::printf("campaigns with forward progress: %lld / %d\n",
               static_cast<long long>(with_progress), campaigns);
@@ -104,6 +116,27 @@ void Run(int argc, char** argv) {
               static_cast<long long>(replays_checked));
   std::printf("wall clock: %.1f ms total, %.2f ms per campaign\n\n", wall.mean_ms,
               wall.mean_ms / n);
+
+  // Engine before/after: replay a storm sized to this sweep's per-campaign
+  // event volume on the frozen pre-change engine and on the current one, so
+  // every run of this bench re-derives the core speedup on this host.
+  const uint64_t storm_target =
+      static_cast<uint64_t>(executor_events > 0 ? executor_events / campaigns : 10'000);
+  const BenchStats legacy_storm = TimeIt(mode.Warmup(1), mode.Repeats(3), [&] {
+    SimCoreStorm<LegacySimEngine> storm(99, storm_target);
+    storm.Run();
+  });
+  const BenchStats current_storm = TimeIt(mode.Warmup(1), mode.Repeats(3), [&] {
+    SimCoreStorm<SimEngine> storm(99, storm_target);
+    storm.Run();
+  });
+  Table engines({"engine (storm = 1 campaign of events)", "before ms", "after ms", "speedup"});
+  engines.AddRow({"legacy queue -> slot-pool 4-ary heap",
+                  Table::Num(legacy_storm.median_ms, 3), Table::Num(current_storm.median_ms, 3),
+                  Table::Num(legacy_storm.median_ms /
+                                 (current_storm.median_ms > 0.0 ? current_storm.median_ms : 1.0),
+                             2) + "x"});
+  std::printf("%s\n", engines.Render().c_str());
   std::printf("Every campaign passed SimEngine + ElasticTrainer + CheckpointStore\n"
               "invariant checks (violations abort the process).\n");
 
@@ -119,7 +152,15 @@ void Run(int argc, char** argv) {
     json.AddScalar("minibatches_rolled_back", static_cast<double>(minibatches_rolled_back));
     json.AddScalar("campaigns_with_progress", static_cast<double>(with_progress));
     json.AddScalar("replays_checked", static_cast<double>(replays_checked));
+    json.AddScalar("campaign_ms", wall.mean_ms / n);
+    json.AddScalar("executor_events", static_cast<double>(executor_events));
+    json.AddScalar("executor_events_per_sec",
+                   static_cast<double>(executor_events) / (wall.mean_ms / 1e3));
+    json.AddScalar("ring_cache_hits", static_cast<double>(ring_cache_hits));
+    json.AddScalar("ring_cache_misses", static_cast<double>(ring_cache_misses));
     json.AddResult("sweep", wall);
+    json.AddResult("engine_storm_before", legacy_storm);
+    json.AddResult("engine_storm_after", current_storm);
     json.WriteTo(json_path);
   }
 }

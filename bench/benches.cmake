@@ -41,6 +41,7 @@ varuna_add_bench(tab5_gpipe_comparison)
 varuna_add_bench(tab6_pipeline_systems)
 varuna_add_bench(tab7_simulator_accuracy)
 varuna_add_bench(bench_chaos_campaigns)
+varuna_add_bench(bench_sim_core)
 varuna_add_bench(bench_config_search)
 varuna_add_bench(bench_training_step)
 varuna_add_bench(ablation_varuna_design)

@@ -1,0 +1,107 @@
+// Frozen copy of the pre-slot-pool SimEngine: std::function callbacks, a
+// std::priority_queue of callback-owning events, and an unordered_set of live
+// ids. Kept verbatim (modulo the class name and header-only inlining) so
+// bench_sim_core can report a true before/after column against the current
+// slot-pool engine on identical workloads. Bench-only — never link this into
+// src/ (the hot-path lint bans these containers there for a reason).
+#ifndef BENCH_LEGACY_SIM_ENGINE_H_
+#define BENCH_LEGACY_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+using LegacySimTime = double;
+
+class LegacySimEngine {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  EventId Schedule(LegacySimTime delay, Callback callback) {
+    VARUNA_CHECK_GE(delay, 0.0);
+    return ScheduleAt(now_ + delay, std::move(callback));
+  }
+
+  EventId ScheduleAt(LegacySimTime when, Callback callback) {
+    VARUNA_CHECK_GE(when, now_);
+    const EventId id = next_id_++;
+    queue_.push(Event{when, id, std::move(callback)});
+    live_.insert(id);
+    return id;
+  }
+
+  void Cancel(EventId id) { live_.erase(id); }
+
+  void Run() {
+    stopped_ = false;
+    while (!stopped_ && Step()) {
+    }
+  }
+
+  void RunUntil(LegacySimTime until) {
+    VARUNA_CHECK_GE(until, now_);
+    stopped_ = false;
+    while (!stopped_ && !queue_.empty() && queue_.top().when <= until) {
+      Step();
+    }
+    if (!stopped_) {
+      now_ = until;
+    }
+  }
+
+  void Stop() { stopped_ = true; }
+
+  LegacySimTime now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return live_.size(); }
+
+ private:
+  struct Event {
+    LegacySimTime when;
+    EventId id;  // Also the tie-breaker: lower id fires first.
+    Callback callback;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;  // Min-heap on time.
+      }
+      return a.id > b.id;
+    }
+  };
+
+  bool Step() {
+    while (!queue_.empty()) {
+      Event event = queue_.top();
+      queue_.pop();
+      if (live_.erase(event.id) == 0) {
+        continue;  // Cancelled while queued; purged here on fire.
+      }
+      VARUNA_CHECK_GE(event.when, now_) << "LegacySimEngine time went backwards";
+      now_ = event.when;
+      ++events_processed_;
+      event.callback();
+      return true;
+    }
+    return false;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> live_;
+  LegacySimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace varuna
+
+#endif  // BENCH_LEGACY_SIM_ENGINE_H_

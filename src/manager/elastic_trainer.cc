@@ -20,6 +20,7 @@ ElasticTrainer::ElasticTrainer(SimEngine* engine, Cluster* cluster, SpotMarket* 
       spec_(spec),
       options_(options),
       rng_(options.seed),
+      executor_(cluster, &rng_),
       graph_(BuildTransformerOpGraph(spec)),
       sections_(IdentifyCutPoints(graph_, spec.num_layers).value()),
       checkpoints_(engine, options.checkpoint) {
@@ -316,11 +317,16 @@ double ElasticTrainer::MeasuredMinibatchSeconds() {
     exec_options.cpu_offload_bytes_per_stage =
         12.0 * spec_.TotalParams() / config_->pipeline_depth;
   }
-  PipelineExecutor executor(cluster_, &rng_);
-  const MinibatchResult result = executor.Run(schedule, placement_.value(), timings,
-                                              config_->microbatch_size, exec_options);
+  const MinibatchResult result = executor_.Run(schedule, placement_.value(), timings,
+                                               config_->microbatch_size, exec_options);
   cached_minibatch_s_ = result.total_time_s;
   cached_slow_factors_ = std::move(slow_factors);
+  // Snapshot the simulation-core counters (bench JSON reads them off stats()).
+  stats_.executor_events = executor_.events_processed();
+  stats_.executor_heap_fallbacks = executor_.callback_heap_fallbacks();
+  stats_.executor_scratch_growths = executor_.scratch_growths();
+  stats_.net_ring_cache_hits = cluster_->network().ring_cache_hits();
+  stats_.net_ring_cache_misses = cluster_->network().ring_cache_misses();
   return cached_minibatch_s_;
 }
 

@@ -145,6 +145,13 @@ struct SessionStats {
   // cluster size (snapshot of the ConfigSearch counters).
   uint64_t sweep_cache_hits = 0;
   uint64_t sweep_cache_misses = 0;
+  // Simulation-core perf counters (snapshots of the persistent executor and
+  // the cluster Network; reported by the benches, never fingerprinted).
+  uint64_t executor_events = 0;           // DES events fired by the testbed.
+  uint64_t executor_heap_fallbacks = 0;   // Callback captures that spilled.
+  uint64_t executor_scratch_growths = 0;  // Runs that grew the scratch arena.
+  uint64_t net_ring_cache_hits = 0;       // Ring-cost memo hits / misses.
+  uint64_t net_ring_cache_misses = 0;
   std::vector<TimelineEvent> events;
   std::vector<TimelineSample> samples;
 };
@@ -236,6 +243,9 @@ class ElasticTrainer {
   TransformerSpec spec_;
   TrainerOptions options_;
   Rng rng_;
+  // Persistent testbed: its scratch (engine pool, worker table, flag arena)
+  // is reused across every measurement of the session.
+  PipelineExecutor executor_;
 
   OpGraph graph_;
   ModelSections sections_;

@@ -11,6 +11,20 @@ namespace varuna {
 // hide (the rest overlaps with other chunks' transfers).
 constexpr double kRingStallExposure = 0.35;
 
+size_t Network::RingKeyHash::HashSpan(const GpuId* data, size_t size, int rings) {
+  // FNV-1a over the member ids then the ring count.
+  uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  for (size_t i = 0; i < size; ++i) {
+    mix(static_cast<uint64_t>(static_cast<uint32_t>(data[i])));
+  }
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(rings)));
+  return static_cast<size_t>(hash);
+}
+
 double Network::FlowBandwidth(GpuId src, GpuId dst, int concurrent_flows) const {
   VARUNA_CHECK_GE(concurrent_flows, 1);
   if (src == dst) {
@@ -18,27 +32,22 @@ double Network::FlowBandwidth(GpuId src, GpuId dst, int concurrent_flows) const 
     // giving them intra-node bandwidth.
     return topology_->Node(topology_->NodeOf(src)).intra_bandwidth_bps;
   }
-  if (topology_->SameNode(src, dst)) {
-    return topology_->Node(topology_->NodeOf(src)).intra_bandwidth_bps;
+  const LinkClass link =
+      topology_->PairClass(topology_->NodeOfFast(src), topology_->NodeOfFast(dst));
+  if (!link.crosses_node) {
+    return link.bandwidth_bps;
   }
-  const double src_share =
-      topology_->Node(topology_->NodeOf(src)).nic_bandwidth_bps / concurrent_flows;
-  const double dst_share =
-      topology_->Node(topology_->NodeOf(dst)).nic_bandwidth_bps / concurrent_flows;
-  const double fabric = topology_->fabric().per_flow_bandwidth_bps;
-  return std::min({src_share, dst_share, fabric});
+  // Both NICs split across the concurrent flows; the fabric caps each flow.
+  const double nic_share = link.bandwidth_bps / concurrent_flows;
+  return std::min(nic_share, topology_->fabric().per_flow_bandwidth_bps);
 }
 
 double Network::MeanLatency(GpuId src, GpuId dst) const {
   if (src == dst) {
     return 0.0;
   }
-  if (topology_->SameNode(src, dst)) {
-    return topology_->Node(topology_->NodeOf(src)).intra_latency_s;
-  }
-  const FabricSpec& fabric = topology_->fabric();
-  // Expected value of the stall term is probability * mean.
-  return fabric.base_latency_s + fabric.stall_probability * fabric.stall_mean_s;
+  return topology_->PairClass(topology_->NodeOfFast(src), topology_->NodeOfFast(dst))
+      .latency_s;
 }
 
 double Network::MeanTransferTime(GpuId src, GpuId dst, double bytes,
@@ -56,10 +65,14 @@ double Network::SampleTransferTime(GpuId src, GpuId dst, double bytes, int concu
   if (src == dst) {
     return 0.0;
   }
-  const double serialization = bytes / FlowBandwidth(src, dst, concurrent_flows);
-  if (topology_->SameNode(src, dst)) {
-    return topology_->Node(topology_->NodeOf(src)).intra_latency_s + serialization;
+  const LinkClass link =
+      topology_->PairClass(topology_->NodeOfFast(src), topology_->NodeOfFast(dst));
+  if (!link.crosses_node) {
+    return link.latency_s + bytes / link.bandwidth_bps;
   }
+  const double bandwidth =
+      std::min(link.bandwidth_bps / concurrent_flows, topology_->fabric().per_flow_bandwidth_bps);
+  const double serialization = bytes / bandwidth;
   const FabricSpec& fabric = topology_->fabric();
   double latency = fabric.jitter_sigma > 0.0
                        ? rng->LogNormalMedian(fabric.base_latency_s, fabric.jitter_sigma)
@@ -72,9 +85,11 @@ double Network::SampleTransferTime(GpuId src, GpuId dst, double bytes, int concu
 
 Network::RingStep Network::SlowestHop(const std::vector<GpuId>& members,
                                       int concurrent_rings) const {
+  // Seed from the first *real* hop (distinct endpoints) rather than members[0]'s
+  // intra-node parameters: a seed faster than every real hop used to win the
+  // min and report an intra-class bottleneck for an all-cross-node ring.
   RingStep step;
-  step.bandwidth = topology_->Node(topology_->NodeOf(members[0])).intra_bandwidth_bps;
-  step.latency_s = topology_->Node(topology_->NodeOf(members[0])).intra_latency_s;
+  bool seeded = false;
   for (size_t i = 0; i < members.size(); ++i) {
     const GpuId a = members[i];
     const GpuId b = members[(i + 1) % members.size()];
@@ -82,30 +97,41 @@ Network::RingStep Network::SlowestHop(const std::vector<GpuId>& members,
       continue;
     }
     const double bandwidth = FlowBandwidth(a, b, concurrent_rings);
-    if (bandwidth < step.bandwidth) {
+    if (!seeded || bandwidth < step.bandwidth) {
+      seeded = true;
       step.bandwidth = bandwidth;
       step.latency_s = MeanLatency(a, b);
       step.crosses_node = !topology_->SameNode(a, b);
     }
   }
+  if (!seeded) {
+    // Degenerate ring (every member is the same GPU): no hop ever moves data;
+    // report the member's intra-node link.
+    const NodeSpec& node = topology_->Node(topology_->NodeOf(members[0]));
+    step.bandwidth = node.intra_bandwidth_bps;
+    step.latency_s = node.intra_latency_s;
+  }
   return step;
 }
 
-double Network::MeanAllReduceTime(const std::vector<GpuId>& members, double bytes,
-                                  int concurrent_rings) const {
-  VARUNA_CHECK(!members.empty());
-  if (members.size() == 1 || bytes <= 0.0) {
-    return 0.0;
+const Network::RingCosts& Network::RingCostsFor(const std::vector<GpuId>& members,
+                                                int concurrent_rings) const {
+  const RingKeyView view{members.data(), members.size(), concurrent_rings};
+  auto it = ring_cache_.find(view);
+  if (it != ring_cache_.end()) {
+    ++ring_cache_hits_;
+    return it->second;
   }
-  const double d = static_cast<double>(members.size());
-  const RingStep hop = SlowestHop(members, concurrent_rings);
-  const double steps = 2.0 * (d - 1.0);
+  ++ring_cache_misses_;
+  RingCosts costs;
+  costs.hop = SlowestHop(members, concurrent_rings);
   // Each synchronous ring step completes when the *slowest* of the D
   // concurrent hop messages lands, so latency jitter and tail stalls amplify
   // with ring size — the reason large data-parallel widths are expensive on
   // commodity networks (Observation 2).
-  double step_latency = hop.latency_s;
-  if (hop.crosses_node) {
+  costs.mean_step_latency_s = costs.hop.latency_s;
+  if (costs.hop.crosses_node) {
+    const double d = static_cast<double>(members.size());
     const FabricSpec& fabric = topology_->fabric();
     // E[max of D log-normal latencies] ~ median * exp(sigma * sqrt(2 ln D)).
     double latency = fabric.base_latency_s;
@@ -120,9 +146,23 @@ double Network::MeanAllReduceTime(const std::vector<GpuId>& members, double byte
       stall = kRingStallExposure *
               (1.0 - std::pow(1.0 - fabric.stall_probability, d)) * fabric.stall_mean_s;
     }
-    step_latency = latency + stall;
+    costs.mean_step_latency_s = latency + stall;
   }
-  return steps * (bytes / d / hop.bandwidth + step_latency);
+  auto inserted =
+      ring_cache_.emplace(RingKey{members, concurrent_rings}, costs);
+  return inserted.first->second;
+}
+
+double Network::MeanAllReduceTime(const std::vector<GpuId>& members, double bytes,
+                                  int concurrent_rings) const {
+  VARUNA_CHECK(!members.empty());
+  if (members.size() == 1 || bytes <= 0.0) {
+    return 0.0;
+  }
+  const double d = static_cast<double>(members.size());
+  const RingCosts& costs = RingCostsFor(members, concurrent_rings);
+  const double steps = 2.0 * (d - 1.0);
+  return steps * (bytes / d / costs.hop.bandwidth + costs.mean_step_latency_s);
 }
 
 double Network::SampleAllReduceTime(const std::vector<GpuId>& members, double bytes,
@@ -132,15 +172,16 @@ double Network::SampleAllReduceTime(const std::vector<GpuId>& members, double by
     return 0.0;
   }
   const double d = static_cast<double>(members.size());
-  const RingStep hop = SlowestHop(members, concurrent_rings);
+  const RingCosts& costs = RingCostsFor(members, concurrent_rings);
   const int steps = static_cast<int>(2.0 * (d - 1.0));
-  const double bytes_term = bytes / d / hop.bandwidth;
-  if (!hop.crosses_node) {
-    return steps * (bytes_term + hop.latency_s);
+  const double bytes_term = bytes / d / costs.hop.bandwidth;
+  if (!costs.hop.crosses_node) {
+    return steps * (bytes_term + costs.hop.latency_s);
   }
   const FabricSpec& fabric = topology_->fabric();
   // Draw each step's slowest hop explicitly: O(D^2) draws, fine for the ring
   // sizes the evaluation uses; fall back to the analytic mean for huge rings.
+  // Contract (see header): this branch consumes ZERO draws from `rng`.
   if (d > 64.0) {
     return MeanAllReduceTime(members, bytes, concurrent_rings);
   }

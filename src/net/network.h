@@ -4,9 +4,22 @@
 //   * Mean...    — expectation only; used by analytical baselines.
 // Varuna's own fast simulator uses neither directly: it consumes values that
 // the calibrator *measured* on the sampled testbed (§4.3).
+//
+// Performance: the testbed executor resolves a ring's slowest-hop parameters
+// for every mini-batch allreduce, and re-walking the ring is O(D) pair
+// resolutions each time. Since the topology is append-only (node specs never
+// change once added), the slowest hop and the derived per-step latency are
+// memoized per (member sequence, concurrent_rings) — the key is the exact
+// GpuId sequence because hops between *identical* GPUs are skipped, so two
+// rings with the same node pattern but different GPU repetition patterns are
+// distinct. Entries never invalidate. The memo is deliberately unsynchronized:
+// the cost models run on the session's single DES thread (the pooled config
+// sweep consumes calibrated values through FastSimulator instead).
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -42,8 +55,18 @@ class Network {
   // With a single member this is free.
   double MeanAllReduceTime(const std::vector<GpuId>& members, double bytes,
                            int concurrent_rings) const;
+  // Draw-stream contract: rings with more than 64 members fall back to the
+  // analytic mean and consume ZERO draws from `rng` — the per-step explicit
+  // max over D hop samples is O(D^2) draws and only the evaluation-scale
+  // rings warrant it. Callers may therefore change a ring's size across the
+  // threshold without perturbing any downstream consumer of the same Rng
+  // beyond the draws of the <= 64 case itself.
   double SampleAllReduceTime(const std::vector<GpuId>& members, double bytes,
                              int concurrent_rings, Rng* rng) const;
+
+  // Ring-cost memo counters (SessionStats mirrors these into the bench JSON).
+  uint64_t ring_cache_hits() const { return ring_cache_hits_; }
+  uint64_t ring_cache_misses() const { return ring_cache_misses_; }
 
  private:
   // Slowest link time parameters around the ring formed by `members` in order.
@@ -52,9 +75,64 @@ class Network {
     double latency_s = 0.0;   // mean latency (seconds) of the slowest hop
     bool crosses_node = false;
   };
+  // Everything about a ring that does not depend on the payload size: the
+  // slowest hop and the jitter/stall-amplified expected per-step latency.
+  struct RingCosts {
+    RingStep hop;
+    double mean_step_latency_s = 0.0;
+  };
+
+  struct RingKey {
+    std::vector<GpuId> members;
+    int concurrent_rings = 0;
+  };
+  struct RingKeyView {
+    const GpuId* members = nullptr;
+    size_t size = 0;
+    int concurrent_rings = 0;
+  };
+  struct RingKeyHash {
+    using is_transparent = void;
+    static size_t HashSpan(const GpuId* data, size_t size, int rings);
+    size_t operator()(const RingKey& key) const {
+      return HashSpan(key.members.data(), key.members.size(), key.concurrent_rings);
+    }
+    size_t operator()(const RingKeyView& key) const {
+      return HashSpan(key.members, key.size, key.concurrent_rings);
+    }
+  };
+  struct RingKeyEq {
+    using is_transparent = void;
+    static bool Eq(const GpuId* a, size_t an, int ar, const GpuId* b, size_t bn, int br) {
+      if (an != bn || ar != br) {
+        return false;
+      }
+      for (size_t i = 0; i < an; ++i) {
+        if (a[i] != b[i]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    bool operator()(const RingKey& a, const RingKey& b) const {
+      return Eq(a.members.data(), a.members.size(), a.concurrent_rings, b.members.data(),
+                b.members.size(), b.concurrent_rings);
+    }
+    bool operator()(const RingKeyView& a, const RingKey& b) const {
+      return Eq(a.members, a.size, a.concurrent_rings, b.members.data(), b.members.size(),
+                b.concurrent_rings);
+    }
+    bool operator()(const RingKey& a, const RingKeyView& b) const { return operator()(b, a); }
+  };
+
   RingStep SlowestHop(const std::vector<GpuId>& members, int concurrent_rings) const;
+  // Memoized (SlowestHop + expected per-step latency) for the ring.
+  const RingCosts& RingCostsFor(const std::vector<GpuId>& members, int concurrent_rings) const;
 
   const Topology* topology_;
+  mutable std::unordered_map<RingKey, RingCosts, RingKeyHash, RingKeyEq> ring_cache_;
+  mutable uint64_t ring_cache_hits_ = 0;
+  mutable uint64_t ring_cache_misses_ = 0;
 };
 
 }  // namespace varuna

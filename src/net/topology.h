@@ -3,6 +3,15 @@
 // fabric. This is the paper's "commodity networking" model: VM pairs may be
 // routed through multiple levels of bottleneck switches (§7 experimental
 // setup), which we capture as a fabric bandwidth cap and added latency/jitter.
+//
+// Hot-path contract: the testbed executor resolves link parameters once per
+// simulated message, so the per-node-pair class parameters (same-node intra
+// link vs cross-node NIC+fabric) are precomputed — node specs are flat and
+// immutable once added, the fabric's expected latency is folded at
+// construction, and LinkClass() classifies a pair with two unchecked loads.
+// AddNode() is append-only (GpuIds stay stable across morphs and sessions add
+// nodes continuously), so everything derived from existing nodes stays valid
+// forever; nothing here is ever invalidated.
 #ifndef SRC_NET_TOPOLOGY_H_
 #define SRC_NET_TOPOLOGY_H_
 
@@ -38,9 +47,24 @@ struct FabricSpec {
   double stall_mean_s = 0.0;
 };
 
+// Link-class parameters of one (node, node) pair, resolved for the cost
+// models: either the intra-node link or the NIC/fabric class.
+struct LinkClass {
+  // Same-node: the intra link bandwidth. Cross-node: min of the two NIC
+  // bandwidths, *before* dividing by concurrent flows and capping at the
+  // fabric per-flow limit (both depend on the caller's flow count).
+  double bandwidth_bps = 0.0;
+  // Mean one-way latency of the class (cross-node folds the expected stall).
+  double latency_s = 0.0;
+  bool crosses_node = false;
+};
+
 class Topology {
  public:
-  explicit Topology(FabricSpec fabric) : fabric_(fabric) {}
+  explicit Topology(FabricSpec fabric)
+      : fabric_(fabric),
+        fabric_mean_latency_s_(fabric.base_latency_s +
+                               fabric.stall_probability * fabric.stall_mean_s) {}
 
   // Adds a node; returns its id. GPUs get consecutive global ids.
   NodeId AddNode(const NodeSpec& spec);
@@ -71,8 +95,32 @@ class Topology {
 
   const FabricSpec& fabric() const { return fabric_; }
 
+  // E[latency] of one cross-node message: base + stall_probability * mean
+  // stall, folded once at construction.
+  double fabric_mean_latency_s() const { return fabric_mean_latency_s_; }
+
+  // --- Hot-path accessors (per-message cost resolution) ---------------------
+  // Unchecked GpuId -> NodeId map; callers pass ids they obtained from the
+  // topology itself (placements only hold valid ids).
+  NodeId NodeOfFast(GpuId gpu) const { return gpu_to_node_[static_cast<size_t>(gpu)]; }
+
+  // Class parameters of the (NodeOf(src), NodeOf(dst)) pair: two unchecked
+  // loads and a branch, no bounds re-validation.
+  LinkClass PairClass(NodeId a, NodeId b) const {
+    const NodeSpec& node_a = nodes_[static_cast<size_t>(a)];
+    if (a == b) {
+      return LinkClass{node_a.intra_bandwidth_bps, node_a.intra_latency_s, false};
+    }
+    const NodeSpec& node_b = nodes_[static_cast<size_t>(b)];
+    const double nic = node_a.nic_bandwidth_bps < node_b.nic_bandwidth_bps
+                           ? node_a.nic_bandwidth_bps
+                           : node_b.nic_bandwidth_bps;
+    return LinkClass{nic, fabric_mean_latency_s_, true};
+  }
+
  private:
   FabricSpec fabric_;
+  double fabric_mean_latency_s_ = 0.0;
   std::vector<NodeSpec> nodes_;
   std::vector<NodeId> gpu_to_node_;
 };

@@ -1,44 +1,71 @@
 #include "src/pipeline/executor.h"
 
 #include <algorithm>
-#include <map>
+#include <cstring>
 
 #include "src/common/check.h"
 #include "src/sim/engine.h"
 
 namespace varuna {
+
+// Reusable working set. Every container is grow-only: Run() resizes upward
+// when the workload shape grows and otherwise reuses the retained capacity,
+// so a steady-state mini-batch performs no heap allocations.
+struct ExecutorScratch {
+  // State of one (replica, stage) worker following its per-stage op list.
+  // The per-op / per-micro-batch flags are byte spans carved out of `flags`
+  // (one shared arena instead of five vector<bool> per worker).
+  struct Worker {
+    int replica = 0;
+    int stage = 0;
+    GpuId gpu = -1;
+    double slow_factor = 1.0;  // Snapshot: cluster state is frozen during Run().
+    const std::vector<PipeOp>* ops = nullptr;
+    unsigned char* done = nullptr;              // ops->size() entries
+    unsigned char* act_arrived = nullptr;       // num_microbatches entries
+    unsigned char* grad_arrived = nullptr;      // num_microbatches entries
+    unsigned char* recompute_needed = nullptr;  // Per micro-batch: list contains R(m).
+    unsigned char* recompute_done = nullptr;    // num_microbatches entries
+    size_t cursor = 0;
+    bool busy = false;
+    // Rule 2: after a recompute completes the stage is committed to that
+    // micro-batch's backward; at most one opportunistic forward may run while
+    // the gradient is late (tracked by opportunistic_debt).
+    int committed_backward = -1;
+    bool opportunistic_debt = false;
+    double busy_seconds = 0.0;
+    double finish_time = 0.0;
+    bool finished = false;
+  };
+
+  SimEngine engine;
+  std::vector<Worker> workers;
+  std::vector<unsigned char> flags;  // Arena backing the per-worker flag spans.
+  // Job GPUs sharing each node's NIC, indexed by NodeId; only the entries for
+  // the current placement's nodes are maintained (others may hold stale
+  // counts from earlier placements and are never read).
+  std::vector<int> node_flows;
+  std::vector<double> stage_end;
+  std::vector<GpuId> ring;   // Reused StageRing buffer (keeps the memo key stable).
+  std::vector<GpuId> group;  // Reused shared-state sync pair.
+  uint64_t growths = 0;      // Runs that had to grow any of the above.
+};
+
 namespace {
 
-// State of one (replica, stage) worker following its per-stage op list.
-struct Worker {
-  int replica = 0;
-  int stage = 0;
-  GpuId gpu = -1;
-  const std::vector<PipeOp>* ops = nullptr;
-  std::vector<bool> done;
-  std::vector<bool> act_arrived;
-  std::vector<bool> grad_arrived;
-  std::vector<bool> recompute_needed;  // Per micro-batch: list contains R(m).
-  std::vector<bool> recompute_done;
-  size_t cursor = 0;
-  bool busy = false;
-  // Rule 2: after a recompute completes the stage is committed to that
-  // micro-batch's backward; at most one opportunistic forward may run while
-  // the gradient is late (tracked by opportunistic_debt).
-  int committed_backward = -1;
-  bool opportunistic_debt = false;
-  double busy_seconds = 0.0;
-  double finish_time = 0.0;
-  bool finished = false;
-};
+using Worker = ExecutorScratch::Worker;
 
 class MinibatchRun {
  public:
-  MinibatchRun(const Cluster* cluster, Rng* rng, const Schedule& schedule, const Placement& placement,
+  MinibatchRun(const Cluster* cluster, Rng* rng, ExecutorScratch* scratch,
+      const Schedule& schedule, const Placement& placement,
       const std::vector<StageTiming>& timings, int microbatch_size,
       const ExecutorOptions& options)
       : cluster_(cluster),
         rng_(rng),
+        scratch_(*scratch),
+        engine_(scratch->engine),
+        workers_(scratch->workers),
         schedule_(schedule),
         placement_(placement),
         timings_(timings),
@@ -56,6 +83,8 @@ class MinibatchRun {
     return workers_[static_cast<size_t>(replica) * depth() + static_cast<size_t>(stage)];
   }
 
+  void PrepareScratch();
+
   double OpDuration(const Worker& worker, const PipeOp& op) const;
   double TransferTime(GpuId src, GpuId dst, double bytes) const;
   int ConcurrentFlows(GpuId gpu) const;
@@ -67,15 +96,15 @@ class MinibatchRun {
 
   const Cluster* cluster_;
   Rng* rng_;
+  ExecutorScratch& scratch_;
+  SimEngine& engine_;
+  std::vector<Worker>& workers_;
   const Schedule& schedule_;
   const Placement& placement_;
   const std::vector<StageTiming>& timings_;
   int microbatch_size_;
   const ExecutorOptions& options_;
 
-  SimEngine engine_;
-  std::vector<Worker> workers_;
-  std::map<GpuId, int> job_gpus_per_node_;
   MinibatchResult result_;
 };
 
@@ -97,7 +126,7 @@ double MinibatchRun::OpDuration(const Worker& worker, const PipeOp& op) const {
     case PipeOpType::kIdleBackward:
       return timing.recompute_s + timing.backward_s;
   }
-  base *= cluster_->SlowFactor(worker.gpu);
+  base *= worker.slow_factor;
   if (options_.compute_noise_sigma > 0.0) {
     base = rng_->LogNormalMedian(base, options_.compute_noise_sigma);
   }
@@ -105,8 +134,11 @@ double MinibatchRun::OpDuration(const Worker& worker, const PipeOp& op) const {
 }
 
 int MinibatchRun::ConcurrentFlows(GpuId gpu) const {
-  const auto it = job_gpus_per_node_.find(gpu);
-  return it == job_gpus_per_node_.end() ? 1 : std::max(1, it->second);
+  // Only placement GPUs reach here, and PrepareScratch() refreshed exactly
+  // their nodes' counts.
+  const int flows = scratch_.node_flows[static_cast<size_t>(
+      cluster_->topology().NodeOfFast(gpu))];
+  return flows > 1 ? flows : 1;
 }
 
 double MinibatchRun::TransferTime(GpuId src, GpuId dst, double bytes) const {
@@ -120,15 +152,15 @@ double MinibatchRun::TransferTime(GpuId src, GpuId dst, double bytes) const {
 bool MinibatchRun::Runnable(const Worker& worker, const PipeOp& op) const {
   switch (op.type) {
     case PipeOpType::kForward:
-      return worker.stage == 0 || worker.act_arrived[static_cast<size_t>(op.microbatch)];
+      return worker.stage == 0 || worker.act_arrived[static_cast<size_t>(op.microbatch)] != 0;
     case PipeOpType::kRecompute:
       return true;  // Stashed input activation is local (list order guarantees F ran).
     case PipeOpType::kBackward: {
       const size_t m = static_cast<size_t>(op.microbatch);
-      if (worker.recompute_needed[m] && !worker.recompute_done[m]) {
+      if (worker.recompute_needed[m] != 0 && worker.recompute_done[m] == 0) {
         return false;
       }
-      return worker.grad_arrived[m];
+      return worker.grad_arrived[m] != 0;
     }
     case PipeOpType::kIdleForward:
     case PipeOpType::kIdleBackward:
@@ -159,15 +191,15 @@ void MinibatchRun::StartOp(Worker* worker, size_t index) {
 void MinibatchRun::FinishOp(Worker* worker, size_t index) {
   const PipeOp op = (*worker->ops)[index];
   worker->busy = false;
-  worker->done[index] = true;
+  worker->done[index] = 1;
   double blocking_send = 0.0;  // Non-overlapped implementations stall here.
 
   switch (op.type) {
     case PipeOpType::kForward: {
       if (IsLast(worker->stage)) {
         // Loss gradient is local; backward is ready and activations are live.
-        worker->grad_arrived[static_cast<size_t>(op.microbatch)] = true;
-        worker->recompute_done[static_cast<size_t>(op.microbatch)] = true;
+        worker->grad_arrived[static_cast<size_t>(op.microbatch)] = 1;
+        worker->recompute_done[static_cast<size_t>(op.microbatch)] = 1;
       } else {
         // Ship the activation to the next stage (overlapped with compute).
         Worker* next = &WorkerAt(worker->replica, worker->stage + 1);
@@ -177,14 +209,14 @@ void MinibatchRun::FinishOp(Worker* worker, size_t index) {
           blocking_send = std::max(blocking_send, delay);
         }
         engine_.Schedule(delay, [this, next, op] {
-          next->act_arrived[static_cast<size_t>(op.microbatch)] = true;
+          next->act_arrived[static_cast<size_t>(op.microbatch)] = 1;
           TryDispatch(next);
         });
       }
       break;
     }
     case PipeOpType::kRecompute:
-      worker->recompute_done[static_cast<size_t>(op.microbatch)] = true;
+      worker->recompute_done[static_cast<size_t>(op.microbatch)] = 1;
       worker->committed_backward = op.microbatch;  // Rule 2.
       break;
     case PipeOpType::kBackward: {
@@ -199,7 +231,7 @@ void MinibatchRun::FinishOp(Worker* worker, size_t index) {
           blocking_send = std::max(blocking_send, delay);
         }
         engine_.Schedule(delay, [this, previous, op] {
-          previous->grad_arrived[static_cast<size_t>(op.microbatch)] = true;
+          previous->grad_arrived[static_cast<size_t>(op.microbatch)] = 1;
           TryDispatch(previous);
         });
       }
@@ -211,7 +243,7 @@ void MinibatchRun::FinishOp(Worker* worker, size_t index) {
   }
 
   // Advance past completed ops; detect worker completion.
-  while (worker->cursor < worker->ops->size() && worker->done[worker->cursor]) {
+  while (worker->cursor < worker->ops->size() && worker->done[worker->cursor] != 0) {
     ++worker->cursor;
   }
   if (worker->cursor >= worker->ops->size()) {
@@ -237,7 +269,7 @@ void MinibatchRun::TryDispatch(Worker* worker) {
     return;
   }
   // Skip already-completed ops (possible after opportunistic deviation).
-  while (worker->cursor < worker->ops->size() && worker->done[worker->cursor]) {
+  while (worker->cursor < worker->ops->size() && worker->done[worker->cursor] != 0) {
     ++worker->cursor;
   }
   if (worker->cursor >= worker->ops->size()) {
@@ -263,7 +295,7 @@ void MinibatchRun::TryDispatch(Worker* worker) {
     return;
   }
   for (size_t i = worker->cursor; i < worker->ops->size(); ++i) {
-    if (worker->done[i]) {
+    if (worker->done[i] != 0) {
       continue;
     }
     const PipeOp& op = (*worker->ops)[i];
@@ -279,39 +311,85 @@ void MinibatchRun::TryDispatch(Worker* worker) {
   }
 }
 
-MinibatchResult MinibatchRun::Execute() {
-  VARUNA_CHECK_EQ(schedule_.depth, placement_.pipeline_depth);
-  VARUNA_CHECK_EQ(static_cast<int>(timings_.size()), schedule_.depth);
+void MinibatchRun::PrepareScratch() {
+  const size_t capacity_before = workers_.capacity() + scratch_.flags.capacity() +
+                                 scratch_.node_flows.capacity() + scratch_.stage_end.capacity() +
+                                 scratch_.ring.capacity() + scratch_.group.capacity();
+  engine_.Reset();
 
   // How many job GPUs share each node's NIC (flow-concurrency estimate).
-  std::map<NodeId, int> node_counts;
-  for (const GpuId gpu : placement_.AllGpus()) {
-    ++node_counts[cluster_->topology().NodeOf(gpu)];
+  // Zero exactly the placement's nodes (other entries are stale, never read),
+  // then count.
+  const Topology& topology = cluster_->topology();
+  if (scratch_.node_flows.size() < static_cast<size_t>(topology.num_nodes())) {
+    scratch_.node_flows.resize(static_cast<size_t>(topology.num_nodes()), 0);
   }
-  for (const GpuId gpu : placement_.AllGpus()) {
-    job_gpus_per_node_[gpu] = node_counts[cluster_->topology().NodeOf(gpu)];
+  for (int r = 0; r < replicas(); ++r) {
+    for (int s = 0; s < depth(); ++s) {
+      scratch_.node_flows[static_cast<size_t>(topology.NodeOfFast(placement_.At(r, s)))] = 0;
+    }
+  }
+  for (int r = 0; r < replicas(); ++r) {
+    for (int s = 0; s < depth(); ++s) {
+      ++scratch_.node_flows[static_cast<size_t>(topology.NodeOfFast(placement_.At(r, s)))];
+    }
   }
 
+  // Carve all per-worker flag spans out of one zeroed arena.
+  const size_t microbatches = static_cast<size_t>(schedule_.num_microbatches);
+  size_t flag_bytes = 0;
+  for (int s = 0; s < depth(); ++s) {
+    flag_bytes += schedule_.ops[static_cast<size_t>(s)].size() + 4 * microbatches;
+  }
+  flag_bytes *= static_cast<size_t>(replicas());
+  if (scratch_.flags.size() < flag_bytes) {
+    scratch_.flags.resize(flag_bytes);
+  }
+  std::memset(scratch_.flags.data(), 0, flag_bytes);
+
   workers_.resize(static_cast<size_t>(replicas()) * depth());
+  unsigned char* arena = scratch_.flags.data();
   for (int r = 0; r < replicas(); ++r) {
     for (int s = 0; s < depth(); ++s) {
       Worker& worker = WorkerAt(r, s);
+      worker = Worker{};
       worker.replica = r;
       worker.stage = s;
       worker.gpu = placement_.At(r, s);
+      worker.slow_factor = cluster_->SlowFactor(worker.gpu);
       worker.ops = &schedule_.ops[static_cast<size_t>(s)];
-      worker.done.assign(worker.ops->size(), false);
-      worker.act_arrived.assign(static_cast<size_t>(schedule_.num_microbatches), false);
-      worker.grad_arrived.assign(static_cast<size_t>(schedule_.num_microbatches), false);
-      worker.recompute_needed.assign(static_cast<size_t>(schedule_.num_microbatches), false);
-      worker.recompute_done.assign(static_cast<size_t>(schedule_.num_microbatches), false);
+      worker.done = arena;
+      arena += worker.ops->size();
+      worker.act_arrived = arena;
+      arena += microbatches;
+      worker.grad_arrived = arena;
+      arena += microbatches;
+      worker.recompute_needed = arena;
+      arena += microbatches;
+      worker.recompute_done = arena;
+      arena += microbatches;
       for (const PipeOp& op : *worker.ops) {
         if (op.type == PipeOpType::kRecompute) {
-          worker.recompute_needed[static_cast<size_t>(op.microbatch)] = true;
+          worker.recompute_needed[static_cast<size_t>(op.microbatch)] = 1;
         }
       }
     }
   }
+
+  scratch_.stage_end.assign(static_cast<size_t>(depth()), 0.0);
+  const size_t capacity_after = workers_.capacity() + scratch_.flags.capacity() +
+                                scratch_.node_flows.capacity() + scratch_.stage_end.capacity() +
+                                scratch_.ring.capacity() + scratch_.group.capacity();
+  if (capacity_after > capacity_before) {
+    ++scratch_.growths;
+  }
+}
+
+MinibatchResult MinibatchRun::Execute() {
+  VARUNA_CHECK_EQ(schedule_.depth, placement_.pipeline_depth);
+  VARUNA_CHECK_EQ(static_cast<int>(timings_.size()), schedule_.depth);
+
+  PrepareScratch();
 
   for (auto& worker : workers_) {
     TryDispatch(&worker);
@@ -320,7 +398,7 @@ MinibatchResult MinibatchRun::Execute() {
 
   double pipeline_end = 0.0;
   double busy_fraction_sum = 0.0;
-  std::vector<double> stage_end(static_cast<size_t>(depth()), 0.0);
+  std::vector<double>& stage_end = scratch_.stage_end;
   for (const auto& worker : workers_) {
     VARUNA_CHECK(worker.finished) << "pipeline deadlock: replica " << worker.replica
                                   << " stage " << worker.stage << " stalled at op "
@@ -336,8 +414,12 @@ MinibatchResult MinibatchRun::Execute() {
   // concurrently, which the k-flows NIC sharing inside Network captures.
   double collectives_end = pipeline_end;
   result_.allreduce_time_s = 0.0;
+  std::vector<GpuId>& ring = scratch_.ring;
   for (int s = 0; s < depth(); ++s) {
-    const std::vector<GpuId> ring = placement_.StageRing(s);
+    ring.clear();
+    for (int r = 0; r < replicas(); ++r) {
+      ring.push_back(placement_.At(r, s));
+    }
     const int concurrent = ConcurrentFlows(ring[0]);
     const double bytes = timings_[static_cast<size_t>(s)].grad_allreduce_bytes;
     const double time =
@@ -352,8 +434,11 @@ MinibatchResult MinibatchRun::Execute() {
   // (first and last stage hold the tied embedding).
   double sync = 0.0;
   if (options_.shared_state_sync_bytes > 0.0 && depth() > 1) {
+    std::vector<GpuId>& group = scratch_.group;
+    group.resize(2);
     for (int r = 0; r < replicas(); ++r) {
-      const std::vector<GpuId> group = {placement_.At(r, 0), placement_.At(r, depth() - 1)};
+      group[0] = placement_.At(r, 0);
+      group[1] = placement_.At(r, depth() - 1);
       const double time = options_.sample_network
                               ? cluster_->network().SampleAllReduceTime(
                                     group, options_.shared_state_sync_bytes, 1, rng_)
@@ -387,11 +472,22 @@ MinibatchResult MinibatchRun::Execute() {
 
 }  // namespace
 
+PipelineExecutor::PipelineExecutor(const Cluster* cluster, Rng* rng)
+    : cluster_(cluster), rng_(rng), scratch_(new ExecutorScratch()) {}
+
+PipelineExecutor::~PipelineExecutor() = default;
+
+uint64_t PipelineExecutor::scratch_growths() const { return scratch_->growths; }
+
 MinibatchResult PipelineExecutor::Run(const Schedule& schedule, const Placement& placement,
                                       const std::vector<StageTiming>& timings,
                                       int microbatch_size, const ExecutorOptions& options) {
-  MinibatchRun run(cluster_, rng_, schedule, placement, timings, microbatch_size, options);
-  return run.Execute();
+  MinibatchRun run(cluster_, rng_, scratch_.get(), schedule, placement, timings,
+                   microbatch_size, options);
+  MinibatchResult result = run.Execute();
+  events_processed_ += scratch_->engine.events_processed();
+  callback_heap_fallbacks_ += scratch_->engine.callback_heap_fallbacks();
+  return result;
 }
 
 }  // namespace varuna

@@ -5,9 +5,17 @@
 // allreduce plus cross-partition shared-state sync. Varuna schedules may
 // deviate opportunistically (run a ready forward when the scheduled op's
 // inputs are late, §3.2).
+//
+// Performance: one executor instance owns an ExecutorScratch (sim engine,
+// worker table, flag arena, flow-count table) that is reset — not reallocated
+// — between mini-batches, so a long training session reaches a steady state
+// where Run() performs no heap allocations (asserted by the executor tests
+// via scratch_growths() and callback_heap_fallbacks()).
 #ifndef SRC_PIPELINE_EXECUTOR_H_
 #define SRC_PIPELINE_EXECUTOR_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -62,9 +70,16 @@ struct MinibatchResult {
   double ExamplesPerSecondPerGpu(int gpus) const { return ExamplesPerSecond() / gpus; }
 };
 
+// Reusable per-executor working set (sim engine, worker table, flag arena);
+// defined in executor.cc — callers only see the counters surfaced below.
+struct ExecutorScratch;
+
 class PipelineExecutor {
  public:
-  PipelineExecutor(const Cluster* cluster, Rng* rng) : cluster_(cluster), rng_(rng) {}
+  PipelineExecutor(const Cluster* cluster, Rng* rng);
+  ~PipelineExecutor();
+  PipelineExecutor(const PipelineExecutor&) = delete;
+  PipelineExecutor& operator=(const PipelineExecutor&) = delete;
 
   // Runs one mini-batch: `schedule` on `placement` with per-stage `timings`
   // (micro-batch size is baked into the timings; `microbatch_size` is used
@@ -73,9 +88,22 @@ class PipelineExecutor {
                       const std::vector<StageTiming>& timings, int microbatch_size,
                       const ExecutorOptions& options = {});
 
+  // --- Perf counters, accumulated across Run() calls ------------------------
+  // Simulation events fired on this executor's engine.
+  uint64_t events_processed() const { return events_processed_; }
+  // Scheduled callbacks that overflowed SmallCallback's inline buffer; the
+  // executor's lambdas are sized to keep this at zero.
+  uint64_t callback_heap_fallbacks() const { return callback_heap_fallbacks_; }
+  // Runs whose working set outgrew the retained scratch capacity (each one
+  // implies allocations); stays flat once the workload shape stabilises.
+  uint64_t scratch_growths() const;
+
  private:
   const Cluster* cluster_;
   Rng* rng_;
+  std::unique_ptr<ExecutorScratch> scratch_;
+  uint64_t events_processed_ = 0;
+  uint64_t callback_heap_fallbacks_ = 0;
 };
 
 }  // namespace varuna

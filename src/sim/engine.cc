@@ -1,8 +1,72 @@
 #include "src/sim/engine.h"
 
+#include <utility>
+
 #include "src/common/check.h"
 
 namespace varuna {
+namespace {
+
+constexpr uint32_t kSlotMask32 = 0xffffffffu;
+
+uint32_t IdSlot(SimEngine::EventId id) { return static_cast<uint32_t>(id & kSlotMask32); }
+uint32_t IdGeneration(SimEngine::EventId id) { return static_cast<uint32_t>(id >> 32); }
+
+}  // namespace
+
+void SimEngine::HeapPush(const HeapEntry& entry) {
+  // 4-ary sift-up: child i has parent (i - 1) / 4. Bubbles a hole instead of
+  // swapping, so each level moves one 24-byte entry, not three.
+  size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!EarlierThan(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void SimEngine::HeapPopTop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  // 4-ary sift-down of the hole at the root: children of i are 4i+1 .. 4i+4.
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (EarlierThan(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!EarlierThan(heap_[best], last)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void SimEngine::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  ++s.generation;  // Invalidates every outstanding id/heap entry for the slot.
+  free_slots_.push_back(slot);
+  --live_count_;
+}
 
 SimEngine::EventId SimEngine::Schedule(SimTime delay, Callback callback) {
   VARUNA_CHECK_GE(delay, 0.0);
@@ -11,32 +75,60 @@ SimEngine::EventId SimEngine::Schedule(SimTime delay, Callback callback) {
 
 SimEngine::EventId SimEngine::ScheduleAt(SimTime when, Callback callback) {
   VARUNA_CHECK_GE(when, now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(callback)});
-  live_.insert(id);
-  return id;
+  VARUNA_CHECK(static_cast<bool>(callback));
+  if (!callback.is_inline()) {
+    ++callback_heap_fallbacks_;
+  }
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.callback = std::move(callback);
+  s.live = true;
+  ++live_count_;
+  const uint64_t seq = next_seq_++;
+  HeapPush(HeapEntry{when, seq, slot, s.generation});
+  return (static_cast<EventId>(s.generation) << 32) | slot;
 }
 
 void SimEngine::Cancel(EventId id) {
-  // Erase from the live set only: the queue entry (if any) is dropped lazily
-  // when it reaches the front. Already-fired ids are no longer in the set, so
-  // a late Cancel leaves nothing behind.
-  live_.erase(id);
+  const uint32_t slot = IdSlot(id);
+  if (slot >= slots_.size()) {
+    return;  // Never-issued id.
+  }
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != IdGeneration(id)) {
+    return;  // Already fired/cancelled, or the slot was reused since.
+  }
+  s.callback = Callback();  // Release the capture now, not when the tombstone pops.
+  FreeSlot(slot);
+  // The heap entry stays behind as a tombstone; its generation no longer
+  // matches the slot, so Step() drops it in O(1) when it reaches the top.
 }
 
 bool SimEngine::Step() {
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    if (live_.erase(event.id) == 0) {
-      continue;  // Cancelled while queued; purged here on fire.
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    HeapPopTop();
+    Slot& slot = slots_[top.slot];
+    if (!slot.live || slot.generation != top.generation) {
+      continue;  // Cancelled while queued; tombstone purged here.
     }
     // Self-check: simulated time never goes backwards. ScheduleAt() enforces
     // when >= now() at insertion, so a violation here means heap corruption.
-    VARUNA_CHECK_GE(event.when, now_) << "SimEngine time went backwards";
-    now_ = event.when;
+    VARUNA_CHECK_GE(top.when, now_) << "SimEngine time went backwards";
+    now_ = top.when;
     ++events_processed_;
-    event.callback();
+    // Move the callback out before invoking: the callback may Schedule() and
+    // grow/reuse the pool, so the slot must be released first.
+    Callback callback = std::move(slot.callback);
+    FreeSlot(top.slot);
+    callback();
     return true;
   }
   return false;
@@ -51,7 +143,9 @@ void SimEngine::Run() {
 void SimEngine::RunUntil(SimTime until) {
   VARUNA_CHECK_GE(until, now_);
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().when <= until) {
+  // The gate reads the earliest *entry* (tombstones included) exactly like the
+  // historical lazy-cancel queue did, so traces replay bit-identically.
+  while (!stopped_ && !heap_.empty() && heap_[0].when <= until) {
     Step();
   }
   if (!stopped_) {
@@ -59,15 +153,53 @@ void SimEngine::RunUntil(SimTime until) {
   }
 }
 
+void SimEngine::Reset() {
+  heap_.clear();
+  slots_.clear();  // Keeps capacity; per-slot inline callbacks free with them.
+  free_slots_.clear();
+  now_ = 0.0;
+  next_seq_ = 1;
+  events_processed_ = 0;
+  callback_heap_fallbacks_ = 0;
+  live_count_ = 0;
+  stopped_ = false;
+}
+
 void SimEngine::CheckInvariants() const {
-  // Cancelled-set hygiene: every live id is backed by a queued event, so the
-  // live set can never exceed the queue (a stale-id leak shows up here).
-  VARUNA_CHECK_LE(live_.size(), queue_.size())
-      << "live ids without queued events (stale-id leak)";
-  // The queue only holds future (or present) events.
-  if (!queue_.empty()) {
-    VARUNA_CHECK_GE(queue_.top().when, now_) << "queued event in the past";
+  // Tombstone hygiene: live events can never exceed queued entries (the
+  // difference is exactly the cancelled tombstones awaiting their pop).
+  VARUNA_CHECK_LE(live_count_, heap_.size())
+      << "live events without queued entries (pool/heap drift)";
+  // The queue only holds future (or present) entries.
+  if (!heap_.empty()) {
+    VARUNA_CHECK_GE(heap_[0].when, now_) << "queued event in the past";
   }
+  // Heap order: every child sorts at-or-after its parent under (when, seq).
+  size_t backed = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (i > 0) {
+      const size_t parent = (i - 1) / 4;
+      VARUNA_CHECK(!EarlierThan(heap_[i], heap_[parent]))
+          << "4-ary heap order violated at index " << i;
+    }
+    const HeapEntry& entry = heap_[i];
+    VARUNA_CHECK_LT(entry.slot, slots_.size()) << "heap entry points outside the pool";
+    const Slot& slot = slots_[entry.slot];
+    if (slot.live && slot.generation == entry.generation) {
+      ++backed;  // Current-generation entry backing a live slot.
+    }
+  }
+  // Every live slot is backed by exactly one current-generation heap entry
+  // (generations are bumped on free, so two matching entries cannot coexist).
+  VARUNA_CHECK_EQ(backed, live_count_) << "live slot without a heap entry";
+  // The free list and the live slots partition the pool.
+  size_t live_slots = 0;
+  for (const Slot& slot : slots_) {
+    live_slots += slot.live ? 1 : 0;
+  }
+  VARUNA_CHECK_EQ(live_slots, live_count_) << "live slot count drifted";
+  VARUNA_CHECK_EQ(live_slots + free_slots_.size(), slots_.size())
+      << "pool slots neither live nor free";
 }
 
 }  // namespace varuna

@@ -253,5 +253,57 @@ TEST(ExecutorTest, CpuOffloadAddsTransferTime) {
   EXPECT_GT(offloaded, plain);
 }
 
+TEST(ExecutorTest, SteadyStateRunsAreAllocationFree) {
+  // The zero-alloc contract of the PR-5 scratch refactor: after the first
+  // mini-batch sizes the retained working set, repeat runs of the same shape
+  // must neither grow the scratch nor spill any callback to the heap.
+  TestJob job(Gpt2_2_5B(), ScheduleKind::kVaruna, 9, 2, 8, 4, Nc6V3(), CommodityFabric());
+  Rng rng(11);
+  PipelineExecutor executor(&job.cluster, &rng);
+  (void)executor.Run(job.schedule, job.placement, job.timings, 4);
+  const uint64_t warm_growths = executor.scratch_growths();
+  const uint64_t warm_events = executor.events_processed();
+  EXPECT_GT(warm_events, 0u);
+  for (int i = 0; i < 3; ++i) {
+    (void)executor.Run(job.schedule, job.placement, job.timings, 4);
+  }
+  EXPECT_EQ(executor.scratch_growths(), warm_growths);
+  EXPECT_EQ(executor.callback_heap_fallbacks(), 0u);
+  EXPECT_GT(executor.events_processed(), warm_events);
+}
+
+TEST(ExecutorTest, ReusedExecutorMatchesFreshExecutors) {
+  // Scratch reuse must be invisible: a persistent executor fed N mini-batches
+  // produces bit-identical results to N fresh executors drawing from the same
+  // Rng stream. Noise and network sampling stay ON so the comparison covers
+  // the full draw sequence, not just the deterministic path.
+  TestJob job(Gpt2_2_5B(), ScheduleKind::kVaruna, 9, 2, 8, 4, Nc6V3(), CommodityFabric());
+  ExecutorOptions options;
+  options.record_trace = true;
+
+  Rng persistent_rng(42);
+  PipelineExecutor persistent(&job.cluster, &persistent_rng);
+  std::vector<MinibatchResult> reused;
+  for (int i = 0; i < 3; ++i) {
+    reused.push_back(persistent.Run(job.schedule, job.placement, job.timings, 4, options));
+  }
+
+  Rng fresh_rng(42);
+  for (int i = 0; i < 3; ++i) {
+    PipelineExecutor fresh(&job.cluster, &fresh_rng);
+    const MinibatchResult expect = fresh.Run(job.schedule, job.placement, job.timings, 4, options);
+    EXPECT_DOUBLE_EQ(reused[i].total_time_s, expect.total_time_s);
+    EXPECT_DOUBLE_EQ(reused[i].pipeline_time_s, expect.pipeline_time_s);
+    EXPECT_DOUBLE_EQ(reused[i].allreduce_time_s, expect.allreduce_time_s);
+    EXPECT_DOUBLE_EQ(reused[i].sync_time_s, expect.sync_time_s);
+    EXPECT_DOUBLE_EQ(reused[i].mean_busy_fraction, expect.mean_busy_fraction);
+    ASSERT_EQ(reused[i].trace.size(), expect.trace.size());
+    for (size_t op = 0; op < expect.trace.size(); ++op) {
+      EXPECT_DOUBLE_EQ(reused[i].trace[op].start, expect.trace[op].start);
+      EXPECT_DOUBLE_EQ(reused[i].trace[op].end, expect.trace[op].end);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace varuna

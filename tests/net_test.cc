@@ -172,6 +172,118 @@ TEST(NetworkTest, IntraNodeRingHasNoTail) {
   EXPECT_DOUBLE_EQ(a, b);  // Deterministic: no jitter on NVLink hops.
 }
 
+TEST(NetworkTest, SlowestHopIgnoresUnusedIntraLink) {
+  // Regression: SlowestHop used to seed its running minimum from members[0]'s
+  // intra-node link parameters. On a ring whose hops are ALL cross-node, an
+  // intra link slower than the fabric share would win the min and the ring
+  // would be costed as intra-node (no jitter amplification, wrong bandwidth)
+  // even though no intra hop exists. Two topologies differing only in the
+  // (unused) intra link speed must now price the ring identically.
+  FabricSpec fabric;
+  fabric.per_flow_bandwidth_bps = GbpsToBytesPerSec(5.0);
+  fabric.base_latency_s = 300e-6;
+  const auto one_gpu_nodes = [&](double intra_gbps) {
+    Topology topology(fabric);
+    NodeSpec node;
+    node.num_gpus = 1;
+    node.intra_bandwidth_bps = GbpsToBytesPerSec(intra_gbps);
+    node.intra_latency_s = 10e-6;
+    node.nic_bandwidth_bps = GbpsToBytesPerSec(10.0);
+    topology.AddNode(node);
+    topology.AddNode(node);
+    return topology;
+  };
+  // Pathological: intra (1 Gbps) is slower than the cross-node fabric share
+  // (5 Gbps) — the configuration that tripped the old seeding.
+  Topology slow_intra = one_gpu_nodes(1.0);
+  Topology fast_intra = one_gpu_nodes(96.0);
+  Network slow_net(&slow_intra);
+  Network fast_net(&fast_intra);
+  const double bytes = 1e9;
+  const double slow_time = slow_net.MeanAllReduceTime({0, 1}, bytes, 1);
+  const double fast_time = fast_net.MeanAllReduceTime({0, 1}, bytes, 1);
+  EXPECT_DOUBLE_EQ(slow_time, fast_time);
+  // The true bottleneck is the 5 Gbps fabric: 2(D-1) steps of bytes/D each,
+  // plus the cross-node per-step latency.
+  EXPECT_NEAR(slow_time, 2.0 * (bytes / 2.0 / GbpsToBytesPerSec(5.0) + 300e-6), 1e-6);
+  // And emphatically NOT the 1 Gbps intra seed the old code reported.
+  EXPECT_LT(slow_time, 2.0 * (bytes / 2.0) / GbpsToBytesPerSec(1.0));
+}
+
+TEST(NetworkTest, DegenerateSingleGpuRingUsesIntraLink) {
+  // A ring where every member is the same GPU has no real hop; it falls back
+  // to the member's intra-node parameters (the only defensible default).
+  Topology topology = TwoNodeTopology(4);
+  Network network(&topology);
+  const double bytes = 1e9;
+  const double time = network.MeanAllReduceTime({2, 2}, bytes, 1);
+  EXPECT_NEAR(time, 2.0 * (bytes / 2.0 / GbpsToBytesPerSec(96.0) + 10e-6), 1e-9);
+}
+
+TEST(NetworkTest, LargeRingSamplingConsumesNoRngDraws) {
+  // Pin the documented contract: SampleAllReduceTime on rings with more than
+  // 64 members falls back to the analytic mean and consumes ZERO draws.
+  Topology topology(CommodityFabric());
+  NodeSpec node;
+  node.num_gpus = 1;
+  node.intra_bandwidth_bps = GbpsToBytesPerSec(96.0);
+  node.intra_latency_s = 10e-6;
+  node.nic_bandwidth_bps = GbpsToBytesPerSec(10.0);
+  for (int i = 0; i < 65; ++i) {
+    topology.AddNode(node);
+  }
+  Network network(&topology);
+  std::vector<GpuId> ring;
+  for (int i = 0; i < 65; ++i) {
+    ring.push_back(i);
+  }
+  const double bytes = 500e6;
+  Rng sampled(7);
+  Rng untouched(7);
+  const double time = network.SampleAllReduceTime(ring, bytes, 1, &sampled);
+  EXPECT_DOUBLE_EQ(time, network.MeanAllReduceTime(ring, bytes, 1));
+  // Both rngs must still be at the same position in the stream.
+  EXPECT_EQ(sampled.NextUint64(), untouched.NextUint64());
+
+  // Straddle the threshold: at exactly 64 members the explicit per-step max
+  // IS sampled, so the stream advances.
+  ring.pop_back();
+  Rng sampled64(7);
+  Rng untouched64(7);
+  (void)network.SampleAllReduceTime(ring, bytes, 1, &sampled64);
+  EXPECT_NE(sampled64.NextUint64(), untouched64.NextUint64());
+}
+
+TEST(NetworkTest, RingCostMemoCountsHitsAndStaysConsistent) {
+  Topology topology = TwoNodeTopology(4);
+  Network network(&topology);
+  const double bytes = 1e9;
+  const std::vector<GpuId> ring = {0, 1, 4, 5};
+  EXPECT_EQ(network.ring_cache_hits(), 0u);
+  EXPECT_EQ(network.ring_cache_misses(), 0u);
+  const double first = network.MeanAllReduceTime(ring, bytes, 1);
+  EXPECT_EQ(network.ring_cache_misses(), 1u);
+  const double second = network.MeanAllReduceTime(ring, bytes, 1);
+  EXPECT_EQ(network.ring_cache_hits(), 1u);
+  EXPECT_DOUBLE_EQ(first, second);
+  // The key includes concurrent_rings: a different ring count is a miss, and
+  // the shared-NIC price differs.
+  const double shared = network.MeanAllReduceTime(ring, bytes, 4);
+  EXPECT_EQ(network.ring_cache_misses(), 2u);
+  EXPECT_GT(shared, first);
+  // The key is the exact member sequence (identical-GPU hops are skipped), so
+  // a reordering is a distinct entry even over the same GPUs.
+  const std::vector<GpuId> reordered = {0, 4, 1, 5};
+  (void)network.MeanAllReduceTime(reordered, bytes, 1);
+  EXPECT_EQ(network.ring_cache_misses(), 3u);
+  // Memoized values match a fresh (cold-cache) Network exactly.
+  Network cold(&topology);
+  EXPECT_DOUBLE_EQ(network.MeanAllReduceTime(ring, bytes, 1),
+                   cold.MeanAllReduceTime(ring, bytes, 1));
+  EXPECT_DOUBLE_EQ(network.MeanAllReduceTime(reordered, bytes, 1),
+                   cold.MeanAllReduceTime(reordered, bytes, 1));
+}
+
 TEST(NetworkTest, HyperclusterFasterThanCommodity) {
   Topology commodity(CommodityFabric());
   commodity.AddNode(Nc24V3().node);

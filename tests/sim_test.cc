@@ -149,5 +149,58 @@ TEST(SimEngineTest, EventsProcessedCounter) {
   EXPECT_EQ(engine.events_processed(), 5u);
 }
 
+TEST(SimEngineTest, CancelThenRescheduleReusesSlotSafely) {
+  SimEngine engine;
+  bool a_fired = false;
+  bool b_fired = false;
+  const auto a = engine.Schedule(1.0, [&] { a_fired = true; });
+  engine.Cancel(a);
+  // The slot freed by the cancel is reused immediately; the generation tag
+  // must make the new id distinct from the stale one.
+  const auto b = engine.Schedule(2.0, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  engine.Cancel(a);  // Stale id aliasing b's slot: must not cancel b.
+  engine.CheckInvariants();
+  engine.Run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(SimEngineTest, StaleIdAfterFireCannotCancelSlotReuser) {
+  SimEngine engine;
+  int fired = 0;
+  const auto a = engine.Schedule(1.0, [&] { ++fired; });
+  engine.Run();
+  EXPECT_EQ(fired, 1);
+  // a's slot is free; the next event takes it with a bumped generation.
+  engine.Schedule(1.0, [&] { ++fired; });
+  engine.Cancel(a);
+  engine.CheckInvariants();
+  engine.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngineTest, ResetRestoresPristineState) {
+  SimEngine engine;
+  int fired = 0;
+  engine.Schedule(1.0, [&] { ++fired; });
+  engine.Schedule(2.0, [&] { ++fired; });
+  const auto pending = engine.Schedule(9.0, [&] { ++fired; });
+  engine.RunUntil(5.0);
+  EXPECT_EQ(fired, 2);
+  engine.Reset();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.events_processed(), 0u);
+  engine.CheckInvariants();
+  engine.Cancel(pending);  // Id from before the reset: safe no-op.
+  // The engine must be fully usable again from time zero.
+  engine.Schedule(0.5, [&] { ++fired; });
+  engine.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(engine.now(), 0.5);
+}
+
 }  // namespace
 }  // namespace varuna

@@ -38,6 +38,15 @@ Rules (each can be suppressed on a line with `// varuna-lint: allow(<rule>)`):
                   config search, the elastic trainer, and the pooled
                   micro-batch trainers in src/train.
 
+  hot-path        The per-event simulation hot path (src/sim/ and the pipeline
+                  executor) must stay allocation-free in steady state:
+                  node-based containers (std::map / std::unordered_map /
+                  std::unordered_set / std::set) and std::function (heap
+                  fallback above ~16 bytes of capture) are banned there — use
+                  flat vectors, the SimEngine slot pool, and SmallCallback
+                  (src/sim/callback.h). Deliberate exceptions go on the
+                  reviewed HOT_PATH_ALLOW_FILES list.
+
   tensor-by-value Passing varuna::Tensor by value copies the whole element
                   buffer — one stray signature silently reintroduces the
                   allocation the arena hot path exists to avoid. Function
@@ -102,6 +111,21 @@ POOL_USER_FILES = THREAD_POOL_FILES + (
 POOL_INCLUDE_RE = re.compile(r'#\s*include\s*"src/common/thread_pool\.h"')
 POOL_USE_RE = re.compile(r"\bThreadPool\b")
 
+# --- hot-path ---------------------------------------------------------------
+
+HOT_PATH_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*function\b"), "std::function"),
+    (re.compile(r"\bstd\s*::\s*(unordered_map|unordered_set|map|set)\b"),
+     "node-based std container"),
+    (re.compile(r"#\s*include\s*<(map|set|unordered_map|unordered_set|functional)>"),
+     "node-based/functional include"),
+]
+# The simulation hot path: every file under src/sim/ plus the executor.
+HOT_PATH_PREFIXES = ("src/sim/",)
+HOT_PATH_FILES = ("src/pipeline/executor.h", "src/pipeline/executor.cc")
+# Explicit, reviewed exceptions (none today — keep it that way).
+HOT_PATH_ALLOW_FILES = ()
+
 # --- tensor-by-value --------------------------------------------------------
 
 # `Tensor <name>` followed by `,` or `)` is a by-value parameter; references,
@@ -116,9 +140,10 @@ DOUBLE_DECL_RE = re.compile(r"\bdouble\s+([A-Za-z_]\w*)\s*[,)=;{]")
 TIME_WORDS = re.compile(
     r"(^|_)(time|latency|delay|timeout|interval|duration|deadline|period|stall|horizon)(_|$)")
 BYTE_WORDS = re.compile(r"(^|_)(bytes?|payload)(_|$)")
-# Accepted unit suffixes for time-like and byte-like quantities.
-TIME_OK = re.compile(r"(_s|_per_s)$")
-BYTE_OK = re.compile(r"(_bytes|_bytes_per_s|_bps)$")
+# Accepted unit suffixes for time-like and byte-like quantities (private
+# members carry a trailing underscore after the unit).
+TIME_OK = re.compile(r"(_s|_per_s)_?$")
+BYTE_OK = re.compile(r"(_bytes|_bytes_per_s|_bps)_?$")
 # Dimensionless quantities that merely mention a time/byte word
 # (stall_probability, preemption_hazard_fraction, ...).
 DIMENSIONLESS = re.compile(r"(probability|prob|ratio|fraction|factor|sigma|count|slots?)$")
@@ -216,6 +241,16 @@ class Linter:
                                 "ThreadPool use outside the reviewed allowlist; pooled "
                                 "work items must be pure functions of their index — add "
                                 "the file to POOL_USER_FILES deliberately")
+            hot_path = (rel.startswith(HOT_PATH_PREFIXES) or rel in HOT_PATH_FILES) \
+                and rel not in HOT_PATH_ALLOW_FILES
+            if hot_path and "hot-path" not in allowed:
+                for pattern, what in HOT_PATH_PATTERNS:
+                    if pattern.search(code):
+                        self.report(path, number, "hot-path",
+                                    f"{what} in a simulation hot-path file; use flat "
+                                    "vectors / the SimEngine slot pool / SmallCallback "
+                                    "(src/sim/callback.h), or add the file to "
+                                    "HOT_PATH_ALLOW_FILES deliberately")
             if in_src and "tensor-by-value" not in allowed:
                 if TENSOR_BY_VALUE_RE.search(code):
                     self.report(path, number, "tensor-by-value",
