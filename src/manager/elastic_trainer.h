@@ -112,48 +112,66 @@ struct TimelineSample {
   bool checkpointing = false;
 };
 
+// Every field is classified for the replay contract, and varuna_analyze
+// (tools/analyze) cross-checks the tags against the serialization in
+// src/varuna/determinism.cc in every CI leg:
+//   // fingerprint    part of the bit-identical replay contract — MUST be
+//                     captured into the ElasticTrace and hashed;
+//   // observability  reporting/perf only — MUST NOT be fingerprinted (its
+//                     value may legitimately vary with cache warmth etc.,
+//                     or is derivable from fingerprinted state).
+// Adding a field without a tag, or tagging one inconsistently with
+// determinism.cc, fails the `lint` ctest label.
 struct SessionStats {
-  double examples_processed = 0.0;
-  int64_t minibatches_done = 0;
-  int morphs = 0;
-  int preemptions_hit = 0;  // Preemptions that interrupted the job.
-  // Preemptions after which training subsequently made progress again — the
-  // paper's headline "training survives" counter.
+  double examples_processed = 0.0;  // fingerprint
+  int64_t minibatches_done = 0;     // fingerprint
+  int morphs = 0;                   // fingerprint
+  int preemptions_hit = 0;  // fingerprint: preemptions that interrupted the job.
+  // fingerprint: preemptions after which training subsequently made progress
+  // again — the paper's headline "training survives" counter.
   int preemptions_survived = 0;
+  // observability: advisory fail-stutter detections; thresholds may be tuned
+  // without invalidating recorded traces.
   int stutters_detected = 0;
-  int checkpoints = 0;
-  double stalled_s = 0.0;  // Time spent restoring / waiting for capacity.
+  int checkpoints = 0;      // fingerprint
+  // observability: time spent restoring / waiting for capacity — derivable
+  // from the fingerprinted event timeline.
+  double stalled_s = 0.0;
   // --- Recovery counters (chaos campaigns assert against these). -----------
-  int restarts = 0;            // Rollback-and-restore recoveries.
-  int heartbeat_timeouts = 0;  // VMs declared dead via missed heartbeats.
-  int morph_retries = 0;       // Restore windows killed and re-attempted.
-  int reprovision_retries = 0; // Backoff-scheduled reconfiguration retries.
-  int degraded_intervals = 0;  // Entries into the degraded (offload) mode.
-  int64_t shards_lost = 0;     // Checkpoint shards that died with their VM.
+  int restarts = 0;            // fingerprint: rollback-and-restore recoveries.
+  int heartbeat_timeouts = 0;  // fingerprint: VMs declared dead via heartbeats.
+  int morph_retries = 0;       // fingerprint: restore windows re-attempted.
+  int reprovision_retries = 0; // fingerprint: backoff reconfiguration retries.
+  int degraded_intervals = 0;  // fingerprint: entries into degraded mode.
+  int64_t shards_lost = 0;     // fingerprint: shards that died with their VM.
   // Conservation ledger: every mini-batch completion is attempted; a restore
   // rolls the uncheckpointed tail back. attempted == done + rolled_back
   // always (ElasticTrainer::CheckInvariants), so no sample is ever silently
   // lost and re-work is bounded by the checkpoint cadence.
+  // observability: exactly minibatches_done + minibatches_rolled_back.
   int64_t minibatches_attempted = 0;
-  int64_t minibatches_rolled_back = 0;
+  int64_t minibatches_rolled_back = 0;  // fingerprint
+  // observability: exactly examples_processed + examples_rolled_back.
   double examples_attempted = 0.0;
-  double examples_rolled_back = 0.0;
-  int64_t max_rollback_minibatches = 0;  // Deepest single rollback.
-  int64_t last_restore_step = -1;        // Checkpoint id of the latest restore.
+  double examples_rolled_back = 0.0;  // fingerprint
+  // observability: deepest single rollback, derivable from the ledger events.
+  int64_t max_rollback_minibatches = 0;
+  // fingerprint: checkpoint id of the latest restore.
+  int64_t last_restore_step = -1;
   // Morph-decision cost trackers: sweeps memoized by (G, calibration,
   // constraints) resolve without re-simulation when a spot trace revisits a
   // cluster size (snapshot of the ConfigSearch counters).
-  uint64_t sweep_cache_hits = 0;
-  uint64_t sweep_cache_misses = 0;
+  uint64_t sweep_cache_hits = 0;    // observability: cache warmth, not state.
+  uint64_t sweep_cache_misses = 0;  // observability
   // Simulation-core perf counters (snapshots of the persistent executor and
   // the cluster Network; reported by the benches, never fingerprinted).
-  uint64_t executor_events = 0;           // DES events fired by the testbed.
-  uint64_t executor_heap_fallbacks = 0;   // Callback captures that spilled.
-  uint64_t executor_scratch_growths = 0;  // Runs that grew the scratch arena.
-  uint64_t net_ring_cache_hits = 0;       // Ring-cost memo hits / misses.
-  uint64_t net_ring_cache_misses = 0;
-  std::vector<TimelineEvent> events;
-  std::vector<TimelineSample> samples;
+  uint64_t executor_events = 0;           // observability: DES events fired.
+  uint64_t executor_heap_fallbacks = 0;   // observability: spilled captures.
+  uint64_t executor_scratch_growths = 0;  // observability: arena growths.
+  uint64_t net_ring_cache_hits = 0;       // observability: ring-cost memo.
+  uint64_t net_ring_cache_misses = 0;     // observability
+  std::vector<TimelineEvent> events;      // fingerprint: the event timeline.
+  std::vector<TimelineSample> samples;    // fingerprint: throughput samples.
 };
 
 class ElasticTrainer {

@@ -1,0 +1,6 @@
+// Fixture (never compiled): half of a same-module include cycle.
+#include "src/common/cycle_b.h"
+
+namespace varuna {
+inline int CycleA() { return 1; }
+}  // namespace varuna

@@ -1,0 +1,6 @@
+// Fixture (never compiled): the other half of the include cycle.
+#include "src/common/cycle_a.h"
+
+namespace varuna {
+inline int CycleB() { return 2; }
+}  // namespace varuna

@@ -1,0 +1,10 @@
+// Fixture (never compiled): a src/sim file reaching UP into src/manager —
+// the exact back-edge the layering pass must reject (acceptance criterion),
+// plus a suppressed edge that must stay quiet.
+#include "src/common/check.h"
+#include "src/manager/elastic_trainer.h"
+#include "src/manager/checkpoint.h"  // varuna-analyze: allow(layering)
+
+namespace varuna {
+inline int BadEngine() { return 0; }
+}  // namespace varuna

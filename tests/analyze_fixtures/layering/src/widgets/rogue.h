@@ -1,0 +1,8 @@
+// Fixture (never compiled): a module directory that is missing from
+// tools/analyze/layering.txt — adding a module must be a deliberate,
+// reviewed layering decision.
+#include "src/common/check.h"
+
+namespace varuna {
+inline int Rogue() { return 3; }
+}  // namespace varuna

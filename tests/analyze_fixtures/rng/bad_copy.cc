@@ -1,0 +1,17 @@
+// Fixture (never compiled): Rng copies outside Fork() silently duplicate a
+// draw stream.
+#include "src/common/rng.h"
+
+namespace varuna {
+
+void Run(Rng* rng) {
+  Rng copy = *rng;                      // finding: rng-copy
+  Rng other = copy;                     // finding: rng-copy
+  Rng ok = copy.Fork();                 // allowed: deliberate fork
+  Rng seeded = Rng(ok.NextUint64());    // allowed: fresh seed construction
+  Rng waved = other;                    // varuna-analyze: allow(rng-copy)
+  (void)seeded;
+  (void)waved;
+}
+
+}  // namespace varuna

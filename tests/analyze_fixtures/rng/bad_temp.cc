@@ -1,0 +1,11 @@
+// Fixture (never compiled): a draw on an unnamed Rng temporary lives outside
+// every seeded scope — the stream exists for one expression only.
+#include "src/common/rng.h"
+
+namespace varuna {
+
+double Sample(uint64_t seed) {
+  return Rng(seed ^ 0x9e3779b97f4a7c15ULL).NextDouble();  // finding: rng-temp
+}
+
+}  // namespace varuna

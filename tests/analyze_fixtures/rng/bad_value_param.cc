@@ -1,0 +1,22 @@
+// Fixture (never compiled): draws on by-value Rng parameters — the caller's
+// stream never advances, so the "random" values replay elsewhere.
+#include "src/common/rng.h"
+
+namespace varuna {
+
+double JitterOnce(Rng rng, double scale) {
+  return scale * rng.NextDouble();  // finding: rng-value-param
+}
+
+class Market {
+ public:
+  // Storing the by-value Rng is the allowed sink pattern, but the extra
+  // NextUint64() draw on the dead copy is a fork.
+  explicit Market(Rng rng) : rng_(rng), seed_(rng.NextUint64()) {}
+
+ private:
+  Rng rng_;
+  uint64_t seed_;
+};
+
+}  // namespace varuna

@@ -1,0 +1,34 @@
+// Fixture (never compiled): every construct here is FINE and must produce
+// zero findings — the raw strings, comments, and continuations are the exact
+// false-positive traps a line-oriented regex linter falls into.
+#include "src/common/rng.h"
+
+#include <cstdint>
+
+namespace varuna {
+
+constexpr uint64_t kBig = 1'000'003;  // digit separators are not char literals
+
+// Hazard-shaped *text*, not code:
+const char* kDoc = R"doc(
+  Rng t = other;
+  Rng(42).NextDouble()
+  #include "src/manager/elastic_trainer.h"
+)doc";
+const char* kContinued = "split across a continuation \
+Rng bad = worse; still inside the literal";
+// Rng in_comment = copy;
+/* Rng in_block = copy;
+   Rng(7).Gaussian(); */
+
+struct Sink {
+  // Store-only by-value Rng: the allowed ownership-transfer pattern.
+  explicit Sink(Rng rng) : rng_(rng) {}
+  Rng rng_;
+};
+
+double Draw(Rng* rng) { return rng->NextDouble(); }  // pointer param: fine
+Rng MakeForked(Rng* rng) { return rng->Fork(); }     // deliberate fork: fine
+void Reseed(uint64_t seed) { Rng fresh(seed); (void)fresh; }
+
+}  // namespace varuna

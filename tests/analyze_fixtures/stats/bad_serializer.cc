@@ -1,0 +1,10 @@
+// Fixture (never compiled): the serializer half of the bad_stats.h pair.
+namespace varuna {
+
+void Capture(const SessionStats& stats, Trace* trace) {
+  trace->minibatches_done = stats.minibatches_done;
+  trace->stutters = stats.stutters;          // observability field serialized
+  trace->zombie = stats.zombie_field;        // not a SessionStats field -> finding
+}
+
+}  // namespace varuna

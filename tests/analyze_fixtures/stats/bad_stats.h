@@ -1,0 +1,22 @@
+// Fixture (never compiled): a SessionStats whose classifications disagree
+// with its serializer (bad_serializer.cc) in every way the coverage pass
+// must catch.
+#include <cstdint>
+#include <vector>
+
+namespace varuna {
+
+struct SessionStats {
+  int64_t minibatches_done = 0;  // fingerprint (serialized: clean)
+  // fingerprint: but bad_serializer.cc never reads it -> finding.
+  double examples_processed = 0.0;
+  int stutters = 0;  // observability: yet it IS serialized -> finding.
+  int orphan_counter = 0;  // no classification at all -> finding.
+  // fingerprint
+  // observability
+  int confused = 0;  // (the two leading tags above conflict -> finding)
+  uint64_t cache_hits = 0;  // observability (not serialized: clean)
+  int waved_through = 0;  // varuna-analyze: allow(fingerprint-coverage)
+};
+
+}  // namespace varuna

@@ -1,0 +1,10 @@
+// Fixture (never compiled): serializer consistent with good_stats.h.
+namespace varuna {
+
+void Capture(const SessionStats& stats, Trace* trace) {
+  trace->minibatches_done = stats.minibatches_done;
+  trace->examples_processed = stats.examples_processed;
+  for (double t : stats.sample_times) trace->sample_times.push_back(t);
+}
+
+}  // namespace varuna

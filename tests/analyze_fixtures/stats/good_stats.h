@@ -1,0 +1,15 @@
+// Fixture (never compiled): a fully-classified SessionStats consistent with
+// good_serializer.cc — the coverage pass must stay silent.
+#include <cstdint>
+#include <vector>
+
+namespace varuna {
+
+struct SessionStats {
+  int64_t minibatches_done = 0;       // fingerprint
+  double examples_processed = 0.0;    // fingerprint: replay contract.
+  uint64_t cache_hits = 0;            // observability: cache warmth only.
+  std::vector<double> sample_times;   // fingerprint
+};
+
+}  // namespace varuna

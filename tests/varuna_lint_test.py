@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Regression tests for tools/varuna_lint.py, focused on the stripper blind
+spots this file exists to pin down: raw string literals, escaped quotes and
+backslash continuations at end-of-line, and block comments — none of which a
+naive per-line scan handles. Invoked from ctest (label `lint`)."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "tools"))
+import varuna_lint  # noqa: E402
+
+strip = varuna_lint.strip_comments_and_strings
+fresh = varuna_lint.fresh_strip_state
+
+
+def strip_lines(lines):
+    """Strips a whole file's lines with shared cross-line state."""
+    state = fresh()
+    return [strip(line, state) for line in lines]
+
+
+class StripTest(unittest.TestCase):
+    def test_plain_string_and_line_comment(self):
+        self.assertEqual(strip('x = "rand()"; // rand()'), 'x = ""; ')
+
+    def test_escaped_quote_inside_string(self):
+        self.assertEqual(strip(r'f("say \"rand()\" now"); g();'), 'f(""); g();')
+
+    def test_double_backslash_then_close_quote(self):
+        # The \\ pair must not swallow the closing quote: g() is real code.
+        self.assertEqual(strip(r'f("tail\\"); g();'), 'f(""); g();')
+
+    def test_raw_string_on_one_line(self):
+        self.assertEqual(strip('s = R"(std::random_device "x" rand())"; h();'),
+                         's = R""; h();')
+
+    def test_raw_string_custom_delimiter(self):
+        # The )" inside the body does not close a )delim"-delimited literal.
+        self.assertEqual(strip('s = R"doc(a )" rand() b)doc"; h();'), 's = R""; h();')
+
+    def test_raw_string_prefixes(self):
+        for prefix in ("u8R", "uR", "UR", "LR"):
+            self.assertEqual(strip('s = %s"(rand())"; h();' % prefix),
+                             's = %s""; h();' % prefix)
+
+    def test_identifier_ending_in_r_is_not_raw_prefix(self):
+        # `matcher"..."` (a UDL-ish token) must not trigger raw-string parsing.
+        self.assertEqual(strip('auto x = matcher"(abc)"; rand();'),
+                         'auto x = matcher""; rand();')
+
+    def test_raw_string_spanning_lines(self):
+        code = strip_lines(['s = R"(first rand()',
+                            'std::random_device mid',
+                            ')" ; tail();'])
+        self.assertEqual(code[0], 's = R"')
+        self.assertEqual(code[1], '')
+        self.assertEqual(code[2], '" ; tail();')
+
+    def test_string_continued_with_backslash_newline(self):
+        # The second physical line is still inside the literal: its text must
+        # not surface as code, and the code after the close quote must.
+        code = strip_lines(['s = "begin \\', 'std::random_device end"; tail();'])
+        self.assertEqual(code[0], 's = "')
+        self.assertEqual(code[1], '"; tail();')
+
+    def test_line_comment_continued_with_backslash(self):
+        code = strip_lines(['// comment continues \\', 'rand(); still comment \\',
+                            'rand(); also comment', 'real();'])
+        self.assertEqual(code[1], '')
+        self.assertEqual(code[2], '')
+        self.assertEqual(code[3], 'real();')
+
+    def test_block_comment_spanning_lines(self):
+        code = strip_lines(['a(); /* rand()', 'std::random_device', '*/ b();'])
+        self.assertEqual(code[0], 'a(); ')
+        self.assertEqual(code[1], '')
+        self.assertEqual(code[2], ' b();')
+
+    def test_block_comment_marker_inside_string(self):
+        # A /* inside a string literal must not open a comment.
+        code = strip_lines(['s = "/*"; a();', 'b();'])
+        self.assertEqual(code[0], 's = ""; a();')
+        self.assertEqual(code[1], 'b();')
+
+    def test_char_literal(self):
+        self.assertEqual(strip("c = '\\''; d();"), "c = ''; d();")
+
+
+class LintFileTest(unittest.TestCase):
+    """End-to-end: the determinism rule over files exercising the stripper."""
+
+    def lint(self, name, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, name)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+            linter = varuna_lint.Linter(tmp)
+            linter.lint_file(path)
+            return linter.violations
+
+    def test_raw_string_hazard_text_is_not_a_violation(self):
+        violations = self.lint("src/x.cc", '\n'.join([
+            'const char* kDoc = R"doc(',
+            '  std::random_device rd;',
+            '  srand(42); time(NULL);',
+            '  #include <chrono>',
+            ')doc";',
+            '']))
+        self.assertEqual(violations, [])
+
+    def test_continued_string_hazard_text_is_not_a_violation(self):
+        violations = self.lint("src/x.cc", '\n'.join([
+            'const char* s = "part one \\',
+            'std::random_device part two";',
+            '']))
+        self.assertEqual(violations, [])
+
+    def test_real_violation_after_raw_string_is_still_caught(self):
+        violations = self.lint("src/x.cc", '\n'.join([
+            'const char* kDoc = R"(text)";',
+            'int x = rand();',
+            '']))
+        self.assertEqual(len(violations), 1)
+        self.assertIn("determinism", violations[0])
+        self.assertIn(":2:", violations[0])
+
+    def test_determinism_rule_covers_tests_and_bench(self):
+        for rel in ("tests/t.cc", "bench/b.cc"):
+            violations = self.lint(rel, "#include <chrono>\n")
+            self.assertEqual(len(violations), 1, rel)
+            self.assertIn("determinism", violations[0])
+
+    def test_bench_util_timing_allowlist(self):
+        self.assertIn("bench/bench_util.h", varuna_lint.TIMING_ALLOW_FILES)
+
+    def test_check_macro_rule_covers_tests(self):
+        violations = self.lint("tests/t.cc", "void f() { assert(1 == 1); }\n")
+        self.assertEqual(len(violations), 1)
+        self.assertIn("check-macro", violations[0])
+
+
+if __name__ == "__main__":
+    unittest.main()

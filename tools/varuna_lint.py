@@ -5,16 +5,18 @@ Rules (each can be suppressed on a line with `// varuna-lint: allow(<rule>)`):
 
   determinism     The DES contract (src/sim/engine.h) requires every stochastic
                   or temporal input to flow through the seeded varuna::Rng and
-                  the simulated clock. Wall-clock reads and ambient RNGs inside
-                  src/ silently break bit-identical replay: rand(), srand(),
+                  the simulated clock. Wall-clock reads and ambient RNGs
+                  silently break bit-identical replay: rand(), srand(),
                   std::random_device, system_clock/steady_clock/
                   high_resolution_clock, gettimeofday(), time(), clock(),
-                  <random> and <chrono> includes.
+                  <random> and <chrono> includes. Applies to src/, tests/ and
+                  bench/ (the bench timing harness is the reviewed exception,
+                  TIMING_ALLOW_FILES).
 
   check-macro     Use VARUNA_CHECK (src/common/check.h) instead of assert():
                   contract checks must stay on in release builds, and
                   CHECK failures print the violated expression with context.
-                  static_assert is fine.
+                  static_assert is fine. Applies to src/, tests/ and bench/.
 
   include-guard   Header guards must be the path uppercased:
                   src/sim/engine.h -> SRC_SIM_ENGINE_H_.
@@ -53,8 +55,13 @@ Rules (each can be suppressed on a line with `// varuna-lint: allow(<rule>)`):
                   parameters in src/ must take `const Tensor&` (inputs) or
                   `Tensor*` (explicit outputs, the *Into style).
 
+Semantic hazards (stream forks, include layering, fingerprint coverage) are
+the sibling C++ analyzer's job: tools/analyze (varuna_analyze). This file
+stays line-oriented; its stripper is regression-tested by
+tests/varuna_lint_test.py (ctest label `lint`).
+
 Usage:
-  tools/varuna_lint.py [paths...]     # default: src/
+  tools/varuna_lint.py [paths...]     # default: src/ tests/ bench/
 Exit status: 0 clean, 1 violations, 2 usage error.
 """
 
@@ -77,6 +84,12 @@ DETERMINISM_PATTERNS = [
     (re.compile(r"#\s*include\s*<random>"), "#include <random>"),
     (re.compile(r"#\s*include\s*<chrono>"), "#include <chrono>"),
 ]
+
+# The determinism rule also covers tests/ and bench/ (a wall-clock read in a
+# test can hide flaky behaviour exactly like it breaks replay in src/). The
+# bench timing harness is the one reviewed exception: measuring wall time is
+# its entire job, and nothing downstream of it feeds a simulation.
+TIMING_ALLOW_FILES = ("bench/bench_util.h",)
 
 # --- check-macro ------------------------------------------------------------
 
@@ -149,27 +162,100 @@ BYTE_OK = re.compile(r"(_bytes|_bytes_per_s|_bps)_?$")
 DIMENSIONLESS = re.compile(r"(probability|prob|ratio|fraction|factor|sigma|count|slots?)$")
 
 
-def strip_comments_and_strings(line):
-    """Removes // comments and the contents of string/char literals, keeping
-    the line length stable enough for human-readable reporting."""
+def fresh_strip_state():
+    """Cross-line lexing state for strip_comments_and_strings: block comments,
+    raw strings, backslash-continued ordinary literals and // comments."""
+    return {"block": False, "raw": None, "quote": None, "line_comment": False}
+
+
+def _opens_raw_string(line, i):
+    """True when the quote at line[i] opens a raw string literal (R"...",
+    including the u8R/uR/UR/LR encoding prefixes)."""
+    for prefix in ("u8R", "uR", "UR", "LR", "R"):
+        start = i - len(prefix)
+        if start < 0 or line[start:i] != prefix:
+            continue
+        before = line[start - 1] if start > 0 else ""
+        if not (before.isalnum() or before == "_"):
+            return True
+    return False
+
+
+def strip_comments_and_strings(line, state=None):
+    """Removes comments and the contents of string/char literals, keeping the
+    line length stable enough for human-readable reporting.
+
+    Handles raw string literals (R"delim(...)delim", any encoding prefix) and
+    escaped quotes/backslashes correctly; pass the same `state` dict (from
+    fresh_strip_state()) across consecutive lines of a file and multi-line
+    constructs — block comments, raw strings, literals and // comments
+    continued with a trailing backslash — are carried over instead of leaking
+    their contents into the "code" the rules match against."""
+    if state is None:
+        state = fresh_strip_state()
     out = []
     i = 0
     n = len(line)
+    if state["line_comment"]:
+        state["line_comment"] = line.endswith("\\")
+        return ""
     while i < n:
+        if state["block"]:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out)
+            state["block"] = False
+            i = end + 2
+            continue
+        if state["raw"] is not None:
+            close = ")" + state["raw"] + '"'
+            end = line.find(close, i)
+            if end < 0:
+                return "".join(out)
+            out.append('"')
+            state["raw"] = None
+            i = end + len(close)
+            continue
+        if state["quote"] is not None:
+            quote = state["quote"]
+            state["quote"] = None
+            closed = False
+            while i < n:
+                if line[i] == "\\":
+                    if i + 1 >= n:  # escaped newline: literal continues
+                        state["quote"] = quote
+                        return "".join(out)
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    closed = True
+                    out.append(quote)
+                    i += 1
+                    break
+                i += 1
+            if not closed and i >= n:
+                return "".join(out)
+            continue
         c = line[i]
         if c == "/" and i + 1 < n and line[i + 1] == "/":
+            state["line_comment"] = line.endswith("\\")
             break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            state["block"] = True
+            i += 2
+            continue
+        if c == '"' and _opens_raw_string(line, i):
+            paren = line.find("(", i + 1)
+            if paren >= 0:
+                out.append('"')
+                state["raw"] = line[i + 1:paren]
+                i = paren + 1
+                continue
+            # Malformed raw string; fall through and treat as ordinary.
         if c in "\"'":
-            quote = c
-            out.append(quote)
+            out.append(c)
+            state["quote"] = c
             i += 1
-            while i < n and line[i] != quote:
-                if line[i] == "\\":
-                    i += 1
-                i += 1
-            if i < n:
-                out.append(quote)
-                i += 1
             continue
         out.append(c)
         i += 1
@@ -195,37 +281,32 @@ class Linter:
             return
 
         in_src = rel.startswith("src/")
+        # The determinism and check-macro contracts extend to the test and
+        # bench trees: a wall-clock read in a test harness hides flakiness the
+        # same way it breaks replay in src/. The bench timing harness is the
+        # one reviewed exception (TIMING_ALLOW_FILES).
+        in_checked = rel.startswith(("src/", "tests/", "bench/"))
+        determinism_scoped = in_checked and rel not in TIMING_ALLOW_FILES
         unit_scoped = rel.startswith(("src/net/", "src/cluster/")) and rel.endswith(".h")
 
-        in_block_comment = False
+        state = fresh_strip_state()
         for number, raw in enumerate(raw_lines, start=1):
             allowed = set(ALLOW_RE.findall(raw))
-            line = raw
-            # Block comments: crude but sufficient for this codebase's style.
-            if in_block_comment:
-                end = line.find("*/")
-                if end < 0:
-                    continue
-                line = line[end + 2:]
-                in_block_comment = False
-            start = line.find("/*")
-            if start >= 0:
-                end = line.find("*/", start + 2)
-                if end < 0:
-                    in_block_comment = True
-                    line = line[:start]
-                else:
-                    line = line[:start] + line[end + 2:]
-            code = strip_comments_and_strings(line)
+            # A line opened inside a multi-line construct (block comment, raw
+            # string, continued literal) is not code for the raw-line checks.
+            carried_over = (state["block"] or state["raw"] is not None
+                            or state["quote"] is not None or state["line_comment"])
+            line = "" if carried_over else raw
+            code = strip_comments_and_strings(raw, state)
 
-            if in_src and "determinism" not in allowed:
+            if determinism_scoped and "determinism" not in allowed:
                 for pattern, what in DETERMINISM_PATTERNS:
                     if pattern.search(code):
                         self.report(path, number, "determinism",
                                     f"{what} breaks the SimEngine determinism contract; "
                                     "route randomness through varuna::Rng and time through "
                                     "SimEngine::now()")
-            if in_src and "check-macro" not in allowed:
+            if in_checked and "check-macro" not in allowed:
                 if ASSERT_RE.search(code) and "static_assert" not in code:
                     self.report(path, number, "check-macro",
                                 "use VARUNA_CHECK (src/common/check.h) instead of assert()")
@@ -302,9 +383,12 @@ def iter_files(paths):
             yield path
             continue
         for dirpath, dirnames, filenames in os.walk(path):
-            # Never descend into build trees or VCS metadata.
+            # Never descend into build trees or VCS metadata; the analyzer
+            # fixtures are deliberately-defective *data* for varuna_analyze,
+            # not code.
             dirnames[:] = [d for d in dirnames
-                           if not d.startswith("build") and d != ".git"]
+                           if not d.startswith("build") and d != ".git"
+                           and d != "analyze_fixtures"]
             for name in sorted(filenames):
                 if name.endswith(extensions):
                     yield os.path.join(dirpath, name)
@@ -312,7 +396,7 @@ def iter_files(paths):
 
 def main(argv):
     repo_root = os.path.dirname(os.path.abspath(os.path.dirname(__file__)))
-    paths = argv[1:] or [os.path.join(repo_root, "src")]
+    paths = argv[1:] or [os.path.join(repo_root, d) for d in ("src", "tests", "bench")]
     for path in paths:
         if not os.path.exists(path):
             print(f"varuna-lint: no such path: {path}", file=sys.stderr)
