@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "src/cluster/vm.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -271,8 +274,9 @@ TEST(NetworkTest, RingCostMemoCountsHitsAndStaysConsistent) {
   const double shared = network.MeanAllReduceTime(ring, bytes, 4);
   EXPECT_EQ(network.ring_cache_misses(), 2u);
   EXPECT_GT(shared, first);
-  // The key is the exact member sequence (identical-GPU hops are skipped), so
-  // a reordering is a distinct entry even over the same GPUs.
+  // The key is the canonical ring *shape*: this reordering changes the hop
+  // multiset (2 intra + 2 cross -> 4 cross), so it is a genuinely different
+  // ring and a distinct entry even over the same GPUs.
   const std::vector<GpuId> reordered = {0, 4, 1, 5};
   (void)network.MeanAllReduceTime(reordered, bytes, 1);
   EXPECT_EQ(network.ring_cache_misses(), 3u);
@@ -282,6 +286,104 @@ TEST(NetworkTest, RingCostMemoCountsHitsAndStaysConsistent) {
                    cold.MeanAllReduceTime(ring, bytes, 1));
   EXPECT_DOUBLE_EQ(network.MeanAllReduceTime(reordered, bytes, 1),
                    cold.MeanAllReduceTime(reordered, bytes, 1));
+}
+
+TEST(NetworkTest, RingShapeMemoHitsOnEquivalentRings) {
+  // The memo keys on ring shape, not member sequence: rotations, reversals,
+  // and substitutions of same-link-class GPUs are one entry. This is what
+  // lets morphed rings (same pattern, shuffled membership) re-hit.
+  Topology topology = TwoNodeTopology(4);
+  Network network(&topology);
+  const double bytes = 1e9;
+  const double base = network.MeanAllReduceTime({0, 1, 4, 5}, bytes, 1);
+  EXPECT_EQ(network.ring_cache_misses(), 1u);
+  EXPECT_EQ(network.ring_cache_hits(), 0u);
+  const std::vector<std::vector<GpuId>> equivalent = {
+      {1, 4, 5, 0},  // rotation
+      {5, 4, 1, 0},  // reversal
+      {2, 3, 6, 7},  // same-class GPU substitution
+      {6, 7, 2, 3},  // substitution across the node boundary (classes match)
+  };
+  for (const auto& ring : equivalent) {
+    EXPECT_DOUBLE_EQ(network.MeanAllReduceTime(ring, bytes, 1), base);
+  }
+  EXPECT_EQ(network.ring_cache_misses(), 1u);
+  EXPECT_EQ(network.ring_cache_hits(), equivalent.size());
+}
+
+TEST(NetworkTest, ShapeEquivalentRingsPriceBitIdenticallyColdCache) {
+  // Property: for seeded random rings, any rotation/reversal must produce
+  // bit-identical RingCosts even on a COLD cache (i.e. the shape computation
+  // itself is walk-order canonical, not just the memo lookup).
+  Topology topology(CommodityFabric());
+  NodeSpec small = Nc6V3().node;
+  NodeSpec big = Nc24V3().node;
+  for (int i = 0; i < 4; ++i) {
+    topology.AddNode(i % 2 == 0 ? small : big);
+  }
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int d = 2 + static_cast<int>(rng.NextUint64() % 7);
+    std::vector<GpuId> ring;
+    for (int i = 0; i < d; ++i) {
+      ring.push_back(static_cast<GpuId>(rng.NextUint64() %
+                                        static_cast<uint64_t>(topology.num_gpus())));
+    }
+    std::vector<GpuId> rotated = ring;
+    const size_t shift = rng.NextUint64() % ring.size();
+    std::rotate(rotated.begin(), rotated.begin() + static_cast<long>(shift), rotated.end());
+    if (rng.NextUint64() % 2 == 0) {
+      std::reverse(rotated.begin(), rotated.end());
+    }
+    const int rings = 1 + static_cast<int>(rng.NextUint64() % 3);
+    const double bytes = 1e8;
+    Network cold_a(&topology);
+    Network cold_b(&topology);
+    ASSERT_DOUBLE_EQ(cold_a.MeanAllReduceTime(ring, bytes, rings),
+                     cold_b.MeanAllReduceTime(rotated, bytes, rings))
+        << "trial " << trial;
+    // And the warm path agrees: the rotated ring hits the original's entry.
+    const uint64_t hits_before = cold_a.ring_cache_hits();
+    ASSERT_DOUBLE_EQ(cold_a.MeanAllReduceTime(rotated, bytes, rings),
+                     cold_a.MeanAllReduceTime(ring, bytes, rings))
+        << "trial " << trial;
+    ASSERT_EQ(cold_a.ring_cache_hits(), hits_before + 2) << "trial " << trial;
+  }
+}
+
+TEST(TopologyTest, LinkClassesDedupeOnLinkFields) {
+  FabricSpec fabric;
+  fabric.per_flow_bandwidth_bps = GbpsToBytesPerSec(5.0);
+  Topology topology(fabric);
+  NodeSpec a;
+  a.num_gpus = 4;
+  a.intra_bandwidth_bps = GbpsToBytesPerSec(96.0);
+  a.intra_latency_s = 10e-6;
+  a.nic_bandwidth_bps = GbpsToBytesPerSec(10.0);
+  NodeSpec b = a;
+  b.nic_bandwidth_bps = GbpsToBytesPerSec(40.0);
+  // Same link fields but a different GPU count must still share the class.
+  NodeSpec a_fat = a;
+  a_fat.num_gpus = 8;
+  topology.AddNode(a);
+  topology.AddNode(b);
+  topology.AddNode(a_fat);
+  topology.AddNode(b);
+  EXPECT_EQ(topology.num_link_classes(), 2);
+  EXPECT_EQ(topology.LinkClassOf(0), 0);
+  EXPECT_EQ(topology.LinkClassOf(1), 1);
+  EXPECT_EQ(topology.LinkClassOf(2), 0);
+  EXPECT_EQ(topology.LinkClassOf(3), 1);
+  EXPECT_DOUBLE_EQ(topology.LinkClassSpec(1).nic_bandwidth_bps, GbpsToBytesPerSec(40.0));
+}
+
+TEST(TopologyTest, MinCrossShardLatencyScansCrossPairsOnly) {
+  Topology topology = TwoNodeTopology(4);
+  // Both nodes on one shard: no cross-shard pair exists.
+  EXPECT_DOUBLE_EQ(topology.MinCrossShardLatency({0, 0}), 0.0);
+  // Split shards: the bound is the fabric's mean latency (no stalls folded in
+  // TwoNodeTopology, so it equals the base latency).
+  EXPECT_DOUBLE_EQ(topology.MinCrossShardLatency({0, 1}), 300e-6);
 }
 
 TEST(NetworkTest, HyperclusterFasterThanCommodity) {
