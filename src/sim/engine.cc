@@ -1,5 +1,6 @@
 #include "src/sim/engine.h"
 
+#include <limits>
 #include <utility>
 
 #include "src/common/check.h"
@@ -14,30 +15,40 @@ uint32_t IdGeneration(SimEngine::EventId id) { return static_cast<uint32_t>(id >
 
 }  // namespace
 
-void SimEngine::HeapPush(const HeapEntry& entry) {
+void SimEngine::HeapPush(SimTime when, const HeapMeta& meta) {
   // 4-ary sift-up: child i has parent (i - 1) / 4. Bubbles a hole instead of
-  // swapping, so each level moves one 24-byte entry, not three.
-  size_t i = heap_.size();
-  heap_.push_back(entry);
+  // swapping, so each level moves one key + one metadata entry.
+  size_t i = heap_when_.size();
+  heap_when_.push_back(when);
+  heap_meta_.push_back(meta);
   while (i > 0) {
     const size_t parent = (i - 1) / 4;
-    if (!EarlierThan(entry, heap_[parent])) {
+    const bool entry_earlier =
+        when < heap_when_[parent] ||
+        (when == heap_when_[parent] && meta.seq < heap_meta_[parent].seq);
+    if (!entry_earlier) {
       break;
     }
-    heap_[i] = heap_[parent];
+    heap_when_[i] = heap_when_[parent];
+    heap_meta_[i] = heap_meta_[parent];
     i = parent;
   }
-  heap_[i] = entry;
+  heap_when_[i] = when;
+  heap_meta_[i] = meta;
 }
 
 void SimEngine::HeapPopTop() {
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  const size_t n = heap_.size();
+  const SimTime last_when = heap_when_.back();
+  const HeapMeta last_meta = heap_meta_.back();
+  heap_when_.pop_back();
+  heap_meta_.pop_back();
+  const size_t n = heap_when_.size();
   if (n == 0) {
     return;
   }
   // 4-ary sift-down of the hole at the root: children of i are 4i+1 .. 4i+4.
+  // The four children's `when` keys are 32 contiguous bytes, so the common
+  // (tie-free) comparison round reads a single cache line.
   size_t i = 0;
   for (;;) {
     const size_t first_child = 4 * i + 1;
@@ -47,17 +58,33 @@ void SimEngine::HeapPopTop() {
     size_t best = first_child;
     const size_t last_child = first_child + 4 < n ? first_child + 4 : n;
     for (size_t c = first_child + 1; c < last_child; ++c) {
-      if (EarlierThan(heap_[c], heap_[best])) {
+      if (EarlierThan(c, best)) {
         best = c;
       }
     }
-    if (!EarlierThan(heap_[best], last)) {
+    const bool best_earlier =
+        heap_when_[best] < last_when ||
+        (heap_when_[best] == last_when && heap_meta_[best].seq < last_meta.seq);
+    if (!best_earlier) {
       break;
     }
-    heap_[i] = heap_[best];
+    heap_when_[i] = heap_when_[best];
+    heap_meta_[i] = heap_meta_[best];
     i = best;
   }
-  heap_[i] = last;
+  heap_when_[i] = last_when;
+  heap_meta_[i] = last_meta;
+}
+
+void SimEngine::PurgeTombstonesAtTop() {
+  while (!heap_when_.empty()) {
+    const HeapMeta& top = heap_meta_[0];
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.generation == top.generation) {
+      return;
+    }
+    HeapPopTop();
+  }
 }
 
 void SimEngine::FreeSlot(uint32_t slot) {
@@ -74,6 +101,16 @@ SimEngine::EventId SimEngine::Schedule(SimTime delay, Callback callback) {
 }
 
 SimEngine::EventId SimEngine::ScheduleAt(SimTime when, Callback callback) {
+  return ScheduleInternal(when, next_seq_++, 0, std::move(callback));
+}
+
+SimEngine::EventId SimEngine::ScheduleAtKeyed(SimTime when, uint64_t key, uint32_t tag,
+                                              Callback callback) {
+  return ScheduleInternal(when, key, tag, std::move(callback));
+}
+
+SimEngine::EventId SimEngine::ScheduleInternal(SimTime when, uint64_t seq, uint32_t tag,
+                                               Callback callback) {
   VARUNA_CHECK_GE(when, now_);
   VARUNA_CHECK(static_cast<bool>(callback));
   if (!callback.is_inline()) {
@@ -89,10 +126,10 @@ SimEngine::EventId SimEngine::ScheduleAt(SimTime when, Callback callback) {
   }
   Slot& s = slots_[slot];
   s.callback = std::move(callback);
+  s.tag = tag;
   s.live = true;
   ++live_count_;
-  const uint64_t seq = next_seq_++;
-  HeapPush(HeapEntry{when, seq, slot, s.generation});
+  HeapPush(when, HeapMeta{seq, slot, s.generation});
   return (static_cast<EventId>(s.generation) << 32) | slot;
 }
 
@@ -112,8 +149,9 @@ void SimEngine::Cancel(EventId id) {
 }
 
 bool SimEngine::Step() {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_[0];
+  while (!heap_when_.empty()) {
+    const SimTime when = heap_when_[0];
+    const HeapMeta top = heap_meta_[0];
     HeapPopTop();
     Slot& slot = slots_[top.slot];
     if (!slot.live || slot.generation != top.generation) {
@@ -121,9 +159,10 @@ bool SimEngine::Step() {
     }
     // Self-check: simulated time never goes backwards. ScheduleAt() enforces
     // when >= now() at insertion, so a violation here means heap corruption.
-    VARUNA_CHECK_GE(top.when, now_) << "SimEngine time went backwards";
-    now_ = top.when;
+    VARUNA_CHECK_GE(when, now_) << "SimEngine time went backwards";
+    now_ = when;
     ++events_processed_;
+    current_tag_ = slot.tag;
     // Move the callback out before invoking: the callback may Schedule() and
     // grow/reuse the pool, so the slot must be released first.
     Callback callback = std::move(slot.callback);
@@ -145,7 +184,7 @@ void SimEngine::RunUntil(SimTime until) {
   stopped_ = false;
   // The gate reads the earliest *entry* (tombstones included) exactly like the
   // historical lazy-cancel queue did, so traces replay bit-identically.
-  while (!stopped_ && !heap_.empty() && heap_[0].when <= until) {
+  while (!stopped_ && !heap_when_.empty() && heap_when_[0] <= until) {
     Step();
   }
   if (!stopped_) {
@@ -153,8 +192,40 @@ void SimEngine::RunUntil(SimTime until) {
   }
 }
 
+SimTime SimEngine::NextLiveWhen() {
+  PurgeTombstonesAtTop();
+  return heap_when_.empty() ? std::numeric_limits<SimTime>::infinity() : heap_when_[0];
+}
+
+void SimEngine::DrainTo(SimTime bound, bool inclusive) {
+  stopped_ = false;
+  for (;;) {
+    PurgeTombstonesAtTop();
+    if (heap_when_.empty()) {
+      return;
+    }
+    const SimTime when = heap_when_[0];
+    if (inclusive ? when > bound : when >= bound) {
+      return;
+    }
+    Step();
+    if (stopped_) {
+      return;
+    }
+  }
+}
+
+void SimEngine::AdvanceTo(SimTime when) {
+  VARUNA_CHECK_GE(when, now_);
+  // No live event may be skipped over: the earliest live event (if any) must
+  // sit at or after the new time.
+  VARUNA_CHECK_GE(NextLiveWhen(), when) << "AdvanceTo would skip a live event";
+  now_ = when;
+}
+
 void SimEngine::Reset() {
-  heap_.clear();
+  heap_when_.clear();
+  heap_meta_.clear();
   slots_.clear();  // Keeps capacity; per-slot inline callbacks free with them.
   free_slots_.clear();
   now_ = 0.0;
@@ -162,27 +233,28 @@ void SimEngine::Reset() {
   events_processed_ = 0;
   callback_heap_fallbacks_ = 0;
   live_count_ = 0;
+  current_tag_ = 0;
   stopped_ = false;
 }
 
 void SimEngine::CheckInvariants() const {
   // Tombstone hygiene: live events can never exceed queued entries (the
   // difference is exactly the cancelled tombstones awaiting their pop).
-  VARUNA_CHECK_LE(live_count_, heap_.size())
+  VARUNA_CHECK_LE(live_count_, heap_when_.size())
       << "live events without queued entries (pool/heap drift)";
+  VARUNA_CHECK_EQ(heap_when_.size(), heap_meta_.size()) << "SoA heap arrays drifted";
   // The queue only holds future (or present) entries.
-  if (!heap_.empty()) {
-    VARUNA_CHECK_GE(heap_[0].when, now_) << "queued event in the past";
+  if (!heap_when_.empty()) {
+    VARUNA_CHECK_GE(heap_when_[0], now_) << "queued event in the past";
   }
   // Heap order: every child sorts at-or-after its parent under (when, seq).
   size_t backed = 0;
-  for (size_t i = 0; i < heap_.size(); ++i) {
+  for (size_t i = 0; i < heap_when_.size(); ++i) {
     if (i > 0) {
       const size_t parent = (i - 1) / 4;
-      VARUNA_CHECK(!EarlierThan(heap_[i], heap_[parent]))
-          << "4-ary heap order violated at index " << i;
+      VARUNA_CHECK(!EarlierThan(i, parent)) << "4-ary heap order violated at index " << i;
     }
-    const HeapEntry& entry = heap_[i];
+    const HeapMeta& entry = heap_meta_[i];
     VARUNA_CHECK_LT(entry.slot, slots_.size()) << "heap entry points outside the pool";
     const Slot& slot = slots_[entry.slot];
     if (slot.live && slot.generation == entry.generation) {

@@ -10,13 +10,21 @@
 //  * Events live in a slot pool; ids are generation-tagged slot handles, so
 //    Cancel() is O(1) with no auxiliary set and a freed slot is reused by the
 //    next Schedule() without invalidating stale ids.
-//  * Ordering runs through a 4-ary implicit heap of 24-byte (when, seq, slot)
-//    entries — shallower than a binary heap and sifting plain PODs instead of
-//    owning callbacks. The (when, seq) order is exactly the historical
-//    (when, id) tie-break, so traces stay bit-identical.
+//  * Ordering runs through a 4-ary implicit heap stored SoA: the 8-byte
+//    `when` keys in one dense array (a sift-down's four-child comparison
+//    reads one cache line) and the 16-byte (seq, slot, generation) metadata
+//    in a parallel array touched only on moves and ties. The (when, seq)
+//    order is exactly the historical (when, id) tie-break, so traces stay
+//    bit-identical.
 //  * Callbacks are SmallCallback (src/sim/callback.h): captures up to 64
 //    bytes stay in the slot inline, so steady-state scheduling performs zero
 //    heap allocations once the pool and heap vectors are warm.
+//
+// Sharded use (src/sim/sharded_engine.h): a node-sharded simulation runs one
+// SimEngine per shard and needs (a) caller-supplied tie-break keys that are
+// shard-count invariant — ScheduleAtKeyed — and (b) strict window drains that
+// never overshoot a lookahead boundary — NextLiveWhen/DrainTo/AdvanceTo.
+// RunUntil keeps the historical tombstone-gated behaviour for serial callers.
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
@@ -42,6 +50,20 @@ class SimEngine {
   // Schedules `callback` at absolute time `when`. Requires when >= now().
   EventId ScheduleAt(SimTime when, Callback callback);
 
+  // Schedules with a caller-supplied tie-break key instead of the internal
+  // sequence number, plus an opaque tag readable as current_tag() while the
+  // callback fires. The sharded engine derives keys from (origin node,
+  // per-node emission counter), which is invariant under re-sharding — the
+  // property that makes parallel replays bit-identical. Does not consume a
+  // sequence number; an engine should use either keyed or plain scheduling,
+  // not both (the tie-break spaces are unrelated). Keys must be unique per
+  // timestamp or firing order at equal (when, key) is unspecified.
+  EventId ScheduleAtKeyed(SimTime when, uint64_t key, uint32_t tag, Callback callback);
+
+  // Tag of the most recently fired event (0 before any fires or for untagged
+  // events). Callbacks use it to learn which node's context they run in.
+  uint32_t current_tag() const { return current_tag_; }
+
   // Cancels a pending event in O(1). Cancelling an already-fired, already-
   // cancelled or unknown id is a no-op (the generation tag disambiguates a
   // reused slot from the event the caller meant), and the slot is reusable
@@ -53,6 +75,24 @@ class SimEngine {
 
   // Runs events with timestamp <= `until`, then sets now() == until.
   void RunUntil(SimTime until);
+
+  // --- Strict window primitives (sharded drains) ---------------------------
+  // Timestamp of the earliest *live* event, purging any tombstones that sit
+  // above it, or +infinity when no live event is pending. Unlike RunUntil's
+  // historical gate this never reads a cancelled entry, so a window bound
+  // computed from it cannot overshoot.
+  SimTime NextLiveWhen();
+
+  // Fires live events with when < `bound` (inclusive=false) or <= `bound`
+  // (inclusive=true) and stops — never fires past the gate the way RunUntil's
+  // tombstone quirk can, which matters when the bound is a cross-shard
+  // lookahead horizon rather than a caller convenience. Leaves now() at the
+  // last fired event; pair with AdvanceTo to close the window.
+  void DrainTo(SimTime bound, bool inclusive);
+
+  // Advances now() to `when` without firing anything. Requires when >= now()
+  // and no pending live event earlier than `when` (checked via the heap min).
+  void AdvanceTo(SimTime when);
 
   // Stops the current Run()/RunUntil() after the in-flight callback returns.
   void Stop() { stopped_ = true; }
@@ -88,25 +128,31 @@ class SimEngine {
     // Bumped every time the slot is freed (fire or cancel); a heap entry or
     // EventId carrying an older generation is stale.
     uint32_t generation = 0;
+    uint32_t tag = 0;  // ScheduleAtKeyed's opaque tag; 0 for plain events.
     bool live = false;
   };
-  // What the heap orders: plain 24-byte PODs, no callback ownership.
-  struct HeapEntry {
-    SimTime when = 0.0;
+  // Heap metadata parallel to heap_when_: what a sift moves but rarely reads
+  // (seq only breaks when-ties, slot/generation resolve on pop).
+  struct HeapMeta {
     uint64_t seq = 0;  // Tie-breaker: lower seq fires first (schedule order).
     uint32_t slot = 0;
     uint32_t generation = 0;
   };
 
-  static bool EarlierThan(const HeapEntry& a, const HeapEntry& b) {
-    if (a.when != b.when) {
-      return a.when < b.when;
+  // (when, seq) strict weak order over heap indices.
+  bool EarlierThan(size_t a, size_t b) const {
+    if (heap_when_[a] != heap_when_[b]) {
+      return heap_when_[a] < heap_when_[b];
     }
-    return a.seq < b.seq;
+    return heap_meta_[a].seq < heap_meta_[b].seq;
   }
 
-  void HeapPush(const HeapEntry& entry);
+  void HeapPush(SimTime when, const HeapMeta& meta);
   void HeapPopTop();
+  // Pops tombstoned entries off the top until a live one (or nothing) remains.
+  void PurgeTombstonesAtTop();
+
+  EventId ScheduleInternal(SimTime when, uint64_t seq, uint32_t tag, Callback callback);
 
   // Releases `slot` back to the free list (bumps the generation).
   void FreeSlot(uint32_t slot);
@@ -114,7 +160,9 @@ class SimEngine {
   // Pops and runs the next live event. Returns false if the queue is empty.
   bool Step();
 
-  std::vector<HeapEntry> heap_;  // 4-ary implicit min-heap on (when, seq).
+  // 4-ary implicit min-heap on (when, seq), stored SoA: dense keys + metadata.
+  std::vector<SimTime> heap_when_;
+  std::vector<HeapMeta> heap_meta_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   SimTime now_ = 0.0;
@@ -122,6 +170,7 @@ class SimEngine {
   uint64_t events_processed_ = 0;
   uint64_t callback_heap_fallbacks_ = 0;
   size_t live_count_ = 0;
+  uint32_t current_tag_ = 0;
   bool stopped_ = false;
 };
 
