@@ -1,0 +1,245 @@
+#include "src/sim/sharded_engine.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/net/topology.h"
+
+namespace varuna {
+namespace {
+
+// Canonical keys pack (origin << 40) | emission: 24 bits of node id, 40 bits
+// of per-node emissions.
+constexpr int kNodeShift = 40;
+constexpr uint64_t kMaxEmissions = 1ull << kNodeShift;
+constexpr int kMaxNodes = 1 << (64 - kNodeShift);
+
+}  // namespace
+
+ShardedSimEngine::ShardedSimEngine(int num_nodes, int num_shards, SimTime lookahead,
+                                   ThreadPool* pool)
+    : num_nodes_(num_nodes), pool_(pool) {
+  VARUNA_CHECK_GE(num_nodes, 1);
+  VARUNA_CHECK_LT(num_nodes, kMaxNodes);
+  num_shards_ = num_shards < 1 ? 1 : (num_shards > num_nodes ? num_nodes : num_shards);
+  lookahead_ = lookahead;
+  if (num_shards_ > 1) {
+    // A non-positive lookahead leaves no conservative window to run in
+    // parallel; ForTopology degrades to one shard instead of tripping this.
+    VARUNA_CHECK_GT(lookahead_, 0.0) << "sharded simulation requires positive lookahead";
+  }
+  shard_of_node_.reserve(static_cast<size_t>(num_nodes_));
+  for (int node = 0; node < num_nodes_; ++node) {
+    // Contiguous balanced blocks: shard sizes differ by at most one.
+    shard_of_node_.push_back(static_cast<int>(static_cast<int64_t>(node) * num_shards_ /
+                                              num_nodes_));
+  }
+  engines_.resize(static_cast<size_t>(num_shards_));
+  emissions_.assign(static_cast<size_t>(num_nodes_), 0);
+  outbox_.resize(static_cast<size_t>(num_shards_) * static_cast<size_t>(num_shards_));
+  parcels_sent_.assign(static_cast<size_t>(num_shards_), 0);
+}
+
+ShardedSimEngine ShardedSimEngine::ForTopology(const Topology& topology, int num_shards,
+                                               ThreadPool* pool) {
+  const int num_nodes = topology.num_nodes();
+  int shards = num_shards < 1 ? 1 : (num_shards > num_nodes ? num_nodes : num_shards);
+  SimTime lookahead = 0.0;
+  if (shards > 1) {
+    std::vector<int> shard_of;
+    shard_of.reserve(static_cast<size_t>(num_nodes));
+    for (int node = 0; node < num_nodes; ++node) {
+      shard_of.push_back(static_cast<int>(static_cast<int64_t>(node) * shards / num_nodes));
+    }
+    lookahead = topology.MinCrossShardLatency(shard_of);
+    if (lookahead <= 0.0) {
+      shards = 1;  // Zero-latency cross-shard links: no window to exploit.
+    }
+  }
+  return ShardedSimEngine(num_nodes, shards, lookahead, pool);
+}
+
+uint64_t ShardedSimEngine::NextKey(NodeId origin) {
+  uint64_t& emission = emissions_[static_cast<size_t>(origin)];
+  VARUNA_CHECK_LT(emission, kMaxEmissions);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(origin)) << kNodeShift) | emission++;
+}
+
+ShardedSimEngine::LocalEventId ShardedSimEngine::ScheduleLocal(NodeId node, SimTime delay,
+                                                               Callback callback) {
+  VARUNA_CHECK_GE(node, 0);
+  VARUNA_CHECK_LT(node, num_nodes_);
+  VARUNA_CHECK_GE(delay, 0.0);
+  SimEngine& engine = engines_[static_cast<size_t>(shard_of(node))];
+  const uint64_t key = NextKey(node);
+  return LocalEventId{
+      engine.ScheduleAtKeyed(engine.now() + delay, key, TagOf(node), std::move(callback)),
+      node};
+}
+
+void ShardedSimEngine::Send(NodeId origin, NodeId target, SimTime delay, Callback callback) {
+  VARUNA_CHECK_GE(origin, 0);
+  VARUNA_CHECK_LT(origin, num_nodes_);
+  VARUNA_CHECK_GE(target, 0);
+  VARUNA_CHECK_LT(target, num_nodes_);
+  VARUNA_CHECK_GE(delay, 0.0);
+  const int src = shard_of(origin);
+  const int dst = shard_of(target);
+  const uint64_t key = NextKey(origin);
+  const SimTime when = engines_[static_cast<size_t>(src)].now() + delay;
+  if (src == dst || !running_) {
+    // Same shard (or setup, where all clocks agree and nothing runs in
+    // parallel): straight into the target heap, no mailbox round-trip.
+    engines_[static_cast<size_t>(dst)].ScheduleAtKeyed(when, key, TagOf(target),
+                                                       std::move(callback));
+    return;
+  }
+  // The lookahead bound is what makes the conservative window sound: the
+  // parcel lands at the next barrier, strictly before its due time.
+  VARUNA_CHECK_GE(delay, lookahead_) << "cross-shard send below the lookahead bound";
+  ++parcels_sent_[static_cast<size_t>(src)];
+  outbox_[static_cast<size_t>(src) * static_cast<size_t>(num_shards_) +
+          static_cast<size_t>(dst)]
+      .push_back(Parcel{when, key, target, std::move(callback)});
+}
+
+void ShardedSimEngine::Cancel(const LocalEventId& id) {
+  if (id.node < 0 || id.node >= num_nodes_) {
+    return;
+  }
+  engines_[static_cast<size_t>(shard_of(id.node))].Cancel(id.inner);
+}
+
+void ShardedSimEngine::DeliverParcels() {
+  for (int src = 0; src < num_shards_; ++src) {
+    for (int dst = 0; dst < num_shards_; ++dst) {
+      std::vector<Parcel>& box = outbox_[static_cast<size_t>(src) *
+                                             static_cast<size_t>(num_shards_) +
+                                         static_cast<size_t>(dst)];
+      if (box.empty()) {
+        continue;
+      }
+      SimEngine& engine = engines_[static_cast<size_t>(dst)];
+      for (Parcel& parcel : box) {
+        engine.ScheduleAtKeyed(parcel.when, parcel.key, TagOf(parcel.target),
+                               std::move(parcel.callback));
+      }
+      box.clear();  // Keeps capacity: steady-state windows reuse the rows.
+    }
+  }
+}
+
+void ShardedSimEngine::RunWindow(SimTime bound, bool inclusive) {
+  const auto drain_shard = [this, bound, inclusive](int shard, int /*worker*/) {
+    SimEngine& engine = engines_[static_cast<size_t>(shard)];
+    engine.DrainTo(bound, inclusive);
+    engine.AdvanceTo(bound);
+  };
+  if (pool_ != nullptr && num_shards_ > 1) {
+    pool_->ParallelFor(num_shards_, drain_shard);
+  } else {
+    for (int shard = 0; shard < num_shards_; ++shard) {
+      drain_shard(shard, 0);
+    }
+  }
+}
+
+void ShardedSimEngine::RunUntil(SimTime until) {
+  VARUNA_CHECK_GE(until, now_);
+  if (num_shards_ == 1) {
+    // One shard IS the serial engine, historical RunUntil quirk included.
+    engines_[0].RunUntil(until);
+    now_ = until;
+    return;
+  }
+  running_ = true;
+  for (;;) {
+    DeliverParcels();
+    SimTime start = std::numeric_limits<SimTime>::infinity();
+    for (SimEngine& engine : engines_) {
+      const SimTime live = engine.NextLiveWhen();
+      start = live < start ? live : start;
+    }
+    if (start > until) {
+      break;
+    }
+    const SimTime bound = start + lookahead_ < until ? start + lookahead_ : until;
+    RunWindow(bound, /*inclusive=*/bound >= until);
+    ++window_syncs_;
+  }
+  for (SimEngine& engine : engines_) {
+    engine.AdvanceTo(until);
+  }
+  now_ = until;
+  running_ = false;
+}
+
+uint64_t ShardedSimEngine::cross_shard_parcels() const {
+  uint64_t total = 0;
+  for (const uint64_t sent : parcels_sent_) {
+    total += sent;
+  }
+  return total;
+}
+
+uint64_t ShardedSimEngine::events_processed() const {
+  uint64_t total = 0;
+  for (const SimEngine& engine : engines_) {
+    total += engine.events_processed();
+  }
+  return total;
+}
+
+double ShardedSimEngine::shard_imbalance() const {
+  uint64_t max_events = 0;
+  uint64_t total = 0;
+  for (const SimEngine& engine : engines_) {
+    max_events = engine.events_processed() > max_events ? engine.events_processed() : max_events;
+    total += engine.events_processed();
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(num_shards_);
+  return static_cast<double>(max_events) / mean;
+}
+
+size_t ShardedSimEngine::pending_events() const {
+  size_t total = 0;
+  for (const SimEngine& engine : engines_) {
+    total += engine.pending_events();
+  }
+  return total;
+}
+
+uint64_t ShardedSimEngine::callback_heap_fallbacks() const {
+  uint64_t total = 0;
+  for (const SimEngine& engine : engines_) {
+    total += engine.callback_heap_fallbacks();
+  }
+  return total;
+}
+
+void ShardedSimEngine::CheckInvariants() const {
+  VARUNA_CHECK_EQ(static_cast<int>(engines_.size()), num_shards_);
+  for (const SimEngine& engine : engines_) {
+    engine.CheckInvariants();
+    // Between runs every shard clock sits at the global time.
+    VARUNA_CHECK_EQ(engine.now(), now_) << "shard clock drifted from the global time";
+  }
+  for (const std::vector<Parcel>& box : outbox_) {
+    VARUNA_CHECK(box.empty()) << "cross-shard parcel stranded outside a window pass";
+  }
+  // Shard assignment is a total, monotone partition of the nodes.
+  VARUNA_CHECK_EQ(static_cast<int>(shard_of_node_.size()), num_nodes_);
+  for (size_t i = 1; i < shard_of_node_.size(); ++i) {
+    VARUNA_CHECK_GE(shard_of_node_[i], shard_of_node_[i - 1]);
+  }
+  if (!shard_of_node_.empty()) {
+    VARUNA_CHECK_EQ(shard_of_node_.front(), 0);
+    VARUNA_CHECK_EQ(shard_of_node_.back(), num_shards_ - 1);
+  }
+}
+
+}  // namespace varuna

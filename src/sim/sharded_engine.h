@@ -1,0 +1,172 @@
+// Node-sharded deterministic discrete-event simulation: N simulated nodes are
+// partitioned into S shards, each shard owning a private SimEngine (slot pool
+// + 4-ary heap), advanced in parallel over conservative time windows.
+//
+// Window protocol (classic conservative PDES with a global lookahead):
+//   1. window start W = min over shards of the earliest live event;
+//   2. window bound B = min(W + lookahead, horizon) — `lookahead` is the
+//      minimum cross-shard link latency (Topology::MinCrossShardLatency), so
+//      nothing a remote shard does inside [W, B) can affect this window;
+//   3. every shard drains its own events with when < B (strictly — see the
+//      gate note below) and advances to B; cross-shard sends append to a
+//      per-(src, dst) mailbox instead of touching the remote heap;
+//   4. at the barrier, mailboxes are flushed in fixed (src, dst) order into
+//      the target shards, and the loop repeats.
+//
+// Determinism across shard counts: every event carries a canonical 64-bit
+// key, (origin node << 40) | per-node emission counter. A node's event
+// emissions are a pure function of its own event stream (side effects are
+// node-local by contract), so the keys — and therefore the global
+// (when, key) firing order — are invariant under re-sharding: 1, 2, or 8
+// shards replay bit-identically. Mailbox flush order is irrelevant to
+// correctness (heaps order by key), it is fixed only so memory behaviour is
+// reproducible.
+//
+// Gate note: with S > 1 the window drain is strictly bounded (DrainTo), so a
+// shard can never fire an event at or past B before a smaller-keyed parcel
+// from another shard lands at the barrier. With S == 1 RunUntil delegates to
+// the serial engine unmodified — including its historical tombstone-gated
+// RunUntil quirk — so one shard IS today's engine, not an emulation of it.
+// The quirk can fire one event past a horizon at S == 1 that S > 1 defers to
+// the next RunUntil; the global firing order is unaffected, which is what
+// the fingerprint contract pins (streams filtered to the final horizon are
+// bit-identical at every shard count).
+//
+// Workload contract (checked where stated, documented otherwise):
+//   * Event side effects are node-local; cross-node interaction goes through
+//     Send(). A cross-node cancel is a Send() whose callback cancels the
+//     node-local id it finds — generation tags make a stale cancel a no-op.
+//   * Cross-SHARD sends must have delay >= lookahead (VARUNA_CHECKed during
+//     windows). To stay valid at every shard count, workloads must honour
+//     the bound for every cross-NODE send: node pairs that share a shard at
+//     S=2 may not at S=8.
+//   * Randomness is per-node (fork one Rng per node); a shared stream drawn
+//     in firing order would observe window interleaving.
+#ifndef SRC_SIM_SHARDED_ENGINE_H_
+#define SRC_SIM_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/sim/engine.h"
+
+namespace varuna {
+
+class Topology;
+
+class ShardedSimEngine {
+ public:
+  using Callback = SmallCallback;
+  using NodeId = int;
+
+  // Handle to a node-local event (ScheduleLocal). Cancellable only from its
+  // own node's context; stale handles are safe no-ops, like SimEngine ids.
+  struct LocalEventId {
+    SimEngine::EventId inner = 0;
+    NodeId node = -1;
+  };
+
+  // `num_shards` is clamped to [1, num_nodes]. `lookahead` must be > 0 when
+  // more than one shard results (the window loop cannot advance otherwise);
+  // ForTopology degrades to one shard instead of aborting.
+  ShardedSimEngine(int num_nodes, int num_shards, SimTime lookahead,
+                   ThreadPool* pool = nullptr);
+
+  // Partitions `topology`'s nodes into contiguous shard blocks and derives
+  // the lookahead from its minimum cross-shard link latency. Falls back to a
+  // single shard when that latency is 0 (e.g. a zero-latency fabric leaves
+  // no conservative window to exploit).
+  static ShardedSimEngine ForTopology(const Topology& topology, int num_shards,
+                                      ThreadPool* pool = nullptr);
+
+  // Schedules `callback` on `node`, `delay` seconds after the node's current
+  // time. Node-local: callable at setup or from a callback running on the
+  // same shard as `node`.
+  LocalEventId ScheduleLocal(NodeId node, SimTime delay, Callback callback);
+
+  // Schedules `callback` on `target`, `delay` seconds after `origin`'s
+  // current time. `origin` must be the node whose callback (or setup code)
+  // is calling. Cross-shard sends require delay >= lookahead() during runs.
+  // Returns no id: remote events are cancelled by sending a cancel message,
+  // never by reaching into another shard's heap.
+  void Send(NodeId origin, NodeId target, SimTime delay, Callback callback);
+
+  // Cancels a node-local event in O(1); stale/fired/unknown ids are no-ops.
+  void Cancel(const LocalEventId& id);
+
+  // Runs events with timestamp <= `until` in canonical (when, key) order,
+  // then sets now() == until on every shard.
+  void RunUntil(SimTime until);
+
+  SimTime now() const { return now_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_shards() const { return num_shards_; }
+  SimTime lookahead() const { return lookahead_; }
+  int shard_of(NodeId node) const { return shard_of_node_[static_cast<size_t>(node)]; }
+
+  // --- Counters (observability; never fingerprinted) -----------------------
+  // Window barriers executed across all RunUntil calls.
+  uint64_t window_syncs() const { return window_syncs_; }
+  // Cross-shard events routed through mailboxes.
+  uint64_t cross_shard_parcels() const;
+  uint64_t events_processed() const;
+  uint64_t shard_events_processed(int shard) const {
+    return engines_[static_cast<size_t>(shard)].events_processed();
+  }
+  // max/mean per-shard events processed; 1.0 = perfectly balanced. Guards
+  // against a degenerate partition silently serializing the windows.
+  double shard_imbalance() const;
+  size_t pending_events() const;
+  uint64_t callback_heap_fallbacks() const;
+
+  // Self-check: per-shard engine invariants, empty mailboxes (outside a
+  // window pass nothing may be in flight), and shard clocks agreeing with
+  // now(). O(total queue); call from tests, not hot loops.
+  void CheckInvariants() const;
+
+ private:
+  // A cross-shard event in flight between window barriers.
+  struct Parcel {
+    SimTime when = 0.0;
+    uint64_t key = 0;
+    NodeId target = -1;
+    Callback callback;
+  };
+
+  // Canonical key for the next event emitted by `origin`.
+  uint64_t NextKey(NodeId origin);
+  // Engine tags are node + 1 so tag 0 keeps meaning "no tagged event".
+  static uint32_t TagOf(NodeId node) { return static_cast<uint32_t>(node) + 1; }
+
+  // Flushes every mailbox into its target shard, in fixed (src, dst) order.
+  void DeliverParcels();
+  // Parallel phase: each shard drains [*, bound) — or [*, bound] on the
+  // final window — and advances its clock to the bound.
+  void RunWindow(SimTime bound, bool inclusive);
+
+  int num_nodes_ = 0;
+  int num_shards_ = 1;
+  SimTime lookahead_ = 0.0;
+  ThreadPool* pool_ = nullptr;
+  std::vector<int> shard_of_node_;
+  std::vector<SimEngine> engines_;  // One per shard; touched only by its owner
+                                    // during RunWindow, by the caller between.
+  // Per-node emission counters behind the canonical keys. Written only by
+  // the owning node's shard (or the caller at setup).
+  std::vector<uint64_t> emissions_;
+  // Mailboxes indexed src * num_shards + dst; row src written only by shard
+  // src during RunWindow, drained by the caller at barriers.
+  std::vector<std::vector<Parcel>> outbox_;
+  // Cross-shard sends per source shard (summed by cross_shard_parcels()).
+  // Split per shard: the parallel phase must not share a mutable counter
+  // between workers, and the bench reports per-shard traffic anyway.
+  std::vector<uint64_t> parcels_sent_;
+  SimTime now_ = 0.0;
+  uint64_t window_syncs_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace varuna
+
+#endif  // SRC_SIM_SHARDED_ENGINE_H_

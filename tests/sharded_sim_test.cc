@@ -1,0 +1,375 @@
+// Sharded-vs-serial bit-identity for the node-sharded simulation engine.
+//
+// The property under test: for a workload that honours the sharding contract
+// (node-local side effects, per-node Rng forks, cross-node sends delayed by
+// at least the lookahead), the per-node streams of fired events — and hence
+// any fingerprint folded over them — are bit-identical at EVERY shard count,
+// with and without a thread pool. Shards=1 delegates to the serial engine
+// unchanged (tombstone-gated RunUntil quirk included), so streams are
+// compared filtered to the final horizon: the quirk may fire one event past
+// a horizon at S=1 that S>1 defers, without perturbing the global order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/chaos/chaos.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/common/units.h"
+#include "src/net/topology.h"
+#include "src/sim/sharded_engine.h"
+
+namespace varuna {
+namespace {
+
+struct Fired {
+  double when = 0.0;
+  uint64_t payload = 0;
+};
+
+// Per-node state: everything a callback may touch, so shard placement can
+// never leak into the observable stream.
+struct NodeState {
+  Rng rng{0};
+  std::vector<Fired> fired;
+  ShardedSimEngine::LocalEventId pending{};  // Cancel target for peers.
+  uint64_t pumps = 0;
+};
+
+uint64_t FoldFingerprint(const std::vector<NodeState>& nodes, double horizon) {
+  uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ull;
+  };
+  for (const NodeState& node : nodes) {
+    for (const Fired& event : node.fired) {
+      if (event.when > horizon) {
+        continue;  // S=1's RunUntil quirk may overshoot the final horizon.
+      }
+      uint64_t when_bits = 0;
+      std::memcpy(&when_bits, &event.when, sizeof(when_bits));
+      mix(when_bits);
+      mix(event.payload);
+    }
+    mix(0x9e3779b97f4a7c15ull);  // Node separator.
+  }
+  return hash;
+}
+
+// Self-rescheduling per-node pump chains with cross-node sends, local
+// cancels, and peer-triggered cancels — the storm shape the serial engine
+// benches use, restated under the sharding contract.
+class ContractWorkload {
+ public:
+  ContractWorkload(int num_nodes, uint64_t seed, double lookahead)
+      : lookahead_(lookahead), nodes_(static_cast<size_t>(num_nodes)) {
+    Rng root(seed);
+    for (NodeState& node : nodes_) {
+      node.rng = root.Fork();
+    }
+  }
+
+  void Start(ShardedSimEngine* engine) {
+    for (int node = 0; node < static_cast<int>(nodes_.size()); ++node) {
+      engine->ScheduleLocal(node, 0.01 * (node + 1), [this, engine, node] {
+        Pump(engine, node);
+      });
+    }
+  }
+
+  const std::vector<NodeState>& nodes() const { return nodes_; }
+
+ private:
+  void Pump(ShardedSimEngine* engine, int node) {
+    NodeState& state = nodes_[static_cast<size_t>(node)];
+    const uint64_t draw = state.rng.NextUint64();
+    state.fired.push_back({engine->now(), draw});
+    ++state.pumps;
+    const int peer = static_cast<int>((static_cast<uint64_t>(node) + 1 + draw % 3) %
+                                      nodes_.size());
+    if (state.pumps % 4 == 0 && peer != node) {
+      // Cross-node message: mixes into the PEER's stream when it fires
+      // there. Delay >= lookahead keeps it legal at every shard count.
+      const double delay = lookahead_ * (1.0 + static_cast<double>(draw % 128) / 64.0);
+      engine->Send(node, peer, delay, [this, engine, peer, draw] {
+        nodes_[static_cast<size_t>(peer)].fired.push_back({engine->now(), draw ^ 0xabcdu});
+      });
+    }
+    if (state.pumps % 5 == 0) {
+      // Arm a local doomed event, remembered so a peer message can cancel it.
+      state.pending = engine->ScheduleLocal(node, 0.8, [this, engine, node] {
+        nodes_[static_cast<size_t>(node)].fired.push_back({engine->now(), 0xdeadu});
+      });
+    }
+    if (state.pumps % 7 == 0 && peer != node) {
+      // Peer-triggered cancel: fires on `peer`, cancels whatever id that node
+      // last armed — often already fired, so the stale-id no-op path runs.
+      engine->Send(node, peer, lookahead_ * 2.0, [this, engine, peer] {
+        engine->Cancel(nodes_[static_cast<size_t>(peer)].pending);
+      });
+    }
+    if (state.pumps % 11 == 0) {
+      engine->Cancel(state.pending);  // Same-node cancel, immediate.
+    }
+    engine->ScheduleLocal(node, 0.002 + 0.001 * static_cast<double>(draw % 16), [
+      this, engine, node
+    ] { Pump(engine, node); });
+  }
+
+  double lookahead_ = 0.0;
+  std::vector<NodeState> nodes_;
+};
+
+constexpr double kLookahead = 300e-6;
+
+uint64_t RunContractWorkload(int num_nodes, int num_shards, uint64_t seed,
+                             ThreadPool* pool, double horizon) {
+  ShardedSimEngine engine(num_nodes, num_shards, kLookahead, pool);
+  ContractWorkload workload(num_nodes, seed, kLookahead);
+  workload.Start(&engine);
+  // Drive in increments like the trainers do, so window/horizon interactions
+  // (and the S=1 overshoot quirk) are exercised mid-run, not just at the end.
+  double t = 0.0;
+  while (t < horizon) {
+    t = t + 0.05 < horizon ? t + 0.05 : horizon;
+    engine.RunUntil(t);
+    engine.CheckInvariants();
+  }
+  return FoldFingerprint(workload.nodes(), horizon);
+}
+
+TEST(ShardedSimTest, FingerprintBitIdenticalAcrossShardCounts) {
+  const int kNodes = 12;
+  const double kHorizon = 0.6;
+  for (const uint64_t seed : {2026ull, 7ull, 31337ull}) {
+    SCOPED_TRACE(seed);
+    const uint64_t serial = RunContractWorkload(kNodes, 1, seed, nullptr, kHorizon);
+    for (const int shards : {2, 3, 4, 8, 12}) {
+      SCOPED_TRACE(shards);
+      EXPECT_EQ(RunContractWorkload(kNodes, shards, seed, nullptr, kHorizon), serial);
+    }
+  }
+}
+
+TEST(ShardedSimTest, FingerprintBitIdenticalWithThreadPool) {
+  const int kNodes = 12;
+  const double kHorizon = 0.6;
+  const uint64_t serial = RunContractWorkload(kNodes, 1, 2026, nullptr, kHorizon);
+  ThreadPool pool(4);
+  for (const int shards : {1, 2, 4, 8}) {
+    SCOPED_TRACE(shards);
+    EXPECT_EQ(RunContractWorkload(kNodes, shards, 2026, &pool, kHorizon), serial);
+  }
+}
+
+TEST(ShardedSimTest, CountersTrackWindowsAndParcels) {
+  ShardedSimEngine engine(12, 4, kLookahead, nullptr);
+  ContractWorkload workload(12, 2026, kLookahead);
+  workload.Start(&engine);
+  engine.RunUntil(0.3);
+  EXPECT_GT(engine.window_syncs(), 0u);
+  EXPECT_GT(engine.cross_shard_parcels(), 0u);
+  uint64_t per_shard_total = 0;
+  for (int shard = 0; shard < engine.num_shards(); ++shard) {
+    per_shard_total += engine.shard_events_processed(shard);
+  }
+  EXPECT_EQ(per_shard_total, engine.events_processed());
+  EXPECT_GE(engine.shard_imbalance(), 1.0);
+  engine.CheckInvariants();
+}
+
+TEST(ShardedSimTest, ChaosPlanDerivedWorkloadsReplayAcrossShardCounts) {
+  // Property sweep: seeded random chaos plans shape event/cancel patterns
+  // (times, fan-outs, magnitudes from ChaosPlan::Random), and every shard
+  // count must fold to the serial fingerprint.
+  const int kNodes = 10;
+  const double kHorizon = 2.0;
+  for (uint64_t campaign = 0; campaign < 20; ++campaign) {
+    SCOPED_TRACE(campaign);
+    Rng plan_rng(9000 + campaign);
+    const ChaosPlan plan = ChaosPlan::Random(&plan_rng, kHorizon, 6);
+
+    const auto run = [&](int shards) {
+      ShardedSimEngine engine(kNodes, shards, kLookahead, nullptr);
+      std::vector<NodeState> nodes(kNodes);
+      Rng root(1000 + campaign);
+      for (NodeState& node : nodes) {
+        node.rng = root.Fork();
+      }
+      for (const ChaosAction& action : plan.actions) {
+        const int node = action.count % kNodes;
+        const int victim = (node + static_cast<int>(action.kind) + 1) % kNodes;
+        engine.ScheduleLocal(node, action.at_s, [&engine, &nodes, node, victim, action] {
+          NodeState& state = nodes[static_cast<size_t>(node)];
+          const uint64_t draw = state.rng.NextUint64();
+          state.fired.push_back(
+              {engine.now(), draw ^ static_cast<uint64_t>(action.kind)});
+          // Each action fans a burst out to a victim node, spread beyond the
+          // lookahead like real recovery traffic.
+          for (int i = 0; i < 1 + action.count % 4; ++i) {
+            const double delay = kLookahead * (2.0 + i) +
+                                 action.duration_s / 1000.0;
+            engine.Send(node, victim, delay, [&engine, &nodes, victim, draw, i] {
+              nodes[static_cast<size_t>(victim)].fired.push_back(
+                  {engine.now(), draw + static_cast<uint64_t>(i)});
+            });
+          }
+        });
+      }
+      engine.RunUntil(kHorizon);
+      engine.CheckInvariants();
+      return FoldFingerprint(nodes, kHorizon);
+    };
+
+    const uint64_t serial = run(1);
+    for (const int shards : {2, 4, 5, 10}) {
+      ASSERT_EQ(run(shards), serial) << "shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedSimTest, EventsExactlyAtLookaheadHorizonFireOnce) {
+  // Window bound arithmetic: events landing exactly on W + lookahead (the
+  // next window's open edge) and exactly on the RunUntil horizon must fire
+  // exactly once, in key order, at every shard count.
+  const int kNodes = 4;
+  const auto run = [&](int shards) {
+    ShardedSimEngine engine(kNodes, shards, kLookahead, nullptr);
+    std::vector<NodeState> nodes(kNodes);
+    // Seed event at t=0.1 on node 0; peers at exact lookahead multiples.
+    engine.ScheduleLocal(0, 0.1, [&engine, &nodes] {
+      nodes[0].fired.push_back({engine.now(), 1});
+      // Exactly one lookahead ahead: lands precisely on the window bound.
+      engine.Send(0, 2, kLookahead, [&engine, &nodes] {
+        nodes[2].fired.push_back({engine.now(), 2});
+      });
+      engine.Send(0, 3, 2.0 * kLookahead, [&engine, &nodes] {
+        nodes[3].fired.push_back({engine.now(), 3});
+      });
+    });
+    // An event exactly AT the final horizon (fires: RunUntil's gate is <=).
+    engine.ScheduleLocal(1, 0.1 + kLookahead, [&engine, &nodes] {
+      nodes[1].fired.push_back({engine.now(), 4});
+    });
+    engine.RunUntil(0.1 + kLookahead);
+    engine.RunUntil(1.0);
+    engine.CheckInvariants();
+    EXPECT_EQ(engine.pending_events(), 0u);
+    return FoldFingerprint(nodes, 1.0);
+  };
+  const uint64_t serial = run(1);
+  for (const int shards : {2, 4}) {
+    EXPECT_EQ(run(shards), serial) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedSimTest, CrossShardCancelOfStaleGenerationTaggedId) {
+  // A cancel message racing its target: node 0 arms two events on itself and
+  // node 3 sends cancels for both — one arrives before its target fires
+  // (event removed), one after (stale generation-tagged id, safe no-op).
+  const auto run = [&](int shards) {
+    ShardedSimEngine engine(4, shards, kLookahead, nullptr);
+    std::vector<NodeState> nodes(4);
+    NodeState& owner = nodes[0];
+    // Doomed: fires late enough for the cancel to win.
+    owner.pending = engine.ScheduleLocal(0, 10.0 * kLookahead, [&engine, &nodes] {
+      nodes[0].fired.push_back({engine.now(), 0xbad});
+    });
+    ShardedSimEngine::LocalEventId survivor =
+        engine.ScheduleLocal(0, 2.0 * kLookahead, [&engine, &nodes] {
+          nodes[0].fired.push_back({engine.now(), 0x600d});
+        });
+    // Node 3's cancel for the doomed event arrives at 4*lookahead < 10*.
+    engine.Send(3, 0, 4.0 * kLookahead, [&engine, &owner] {
+      engine.Cancel(owner.pending);
+    });
+    // Node 3's cancel for the survivor arrives at 6*lookahead > 2* — the
+    // event has fired and its slot may be reused; the stale id must no-op.
+    engine.Send(3, 0, 6.0 * kLookahead, [&engine, survivor] {
+      engine.Cancel(survivor);
+    });
+    engine.RunUntil(20.0 * kLookahead);
+    engine.CheckInvariants();
+    EXPECT_EQ(engine.pending_events(), 0u);
+    return FoldFingerprint(nodes, 20.0 * kLookahead);
+  };
+  const uint64_t serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(4), serial);
+  // The survivor fired, the doomed one did not: pin the content too.
+  // (Folded into the fingerprint; a direct probe keeps the failure readable.)
+  ShardedSimEngine engine(4, 4, kLookahead, nullptr);
+  std::vector<uint64_t> seen;
+  ShardedSimEngine::LocalEventId doomed =
+      engine.ScheduleLocal(0, 10.0 * kLookahead, [&seen] { seen.push_back(0xbad); });
+  engine.ScheduleLocal(0, 2.0 * kLookahead, [&seen] { seen.push_back(0x600d); });
+  engine.Send(3, 0, 4.0 * kLookahead, [&engine, doomed] { engine.Cancel(doomed); });
+  engine.RunUntil(20.0 * kLookahead);
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0x600d}));
+}
+
+TEST(ShardedSimTest, ForTopologyDerivesLookaheadAndFallsBackOnZeroLatency) {
+  FabricSpec fabric;
+  fabric.per_flow_bandwidth_bps = GbpsToBytesPerSec(5.0);
+  fabric.base_latency_s = 300e-6;
+  Topology topology(fabric);
+  NodeSpec node;
+  node.num_gpus = 1;
+  node.intra_bandwidth_bps = GbpsToBytesPerSec(96.0);
+  node.intra_latency_s = 10e-6;
+  node.nic_bandwidth_bps = GbpsToBytesPerSec(10.0);
+  for (int i = 0; i < 8; ++i) {
+    topology.AddNode(node);
+  }
+  ShardedSimEngine sharded = ShardedSimEngine::ForTopology(topology, 4);
+  EXPECT_EQ(sharded.num_shards(), 4);
+  EXPECT_DOUBLE_EQ(sharded.lookahead(), 300e-6);
+  // Contiguous balanced partition.
+  EXPECT_EQ(sharded.shard_of(0), 0);
+  EXPECT_EQ(sharded.shard_of(7), 3);
+
+  // Zero-latency fabric: no conservative window exists — one shard.
+  FabricSpec instant;
+  instant.per_flow_bandwidth_bps = GbpsToBytesPerSec(5.0);
+  Topology flat(instant);
+  for (int i = 0; i < 8; ++i) {
+    flat.AddNode(node);
+  }
+  ShardedSimEngine degraded = ShardedSimEngine::ForTopology(flat, 4);
+  EXPECT_EQ(degraded.num_shards(), 1);
+
+  // More shards than nodes clamps to the node count.
+  ShardedSimEngine clamped = ShardedSimEngine::ForTopology(topology, 64);
+  EXPECT_EQ(clamped.num_shards(), 8);
+}
+
+TEST(ShardedSimTest, SingleShardMatchesSerialEngineQuirkExactly) {
+  // S=1 must BE today's engine: the tombstone-gated RunUntil quirk fires one
+  // live event past the horizon when a cancelled entry sorts earlier.
+  ShardedSimEngine sharded(2, 1, kLookahead, nullptr);
+  bool late_fired = false;
+  const auto doomed = sharded.ScheduleLocal(0, 1.0, [] {});
+  sharded.ScheduleLocal(0, 5.0, [&late_fired] { late_fired = true; });
+  sharded.Cancel(doomed);
+  sharded.RunUntil(2.0);
+  EXPECT_TRUE(late_fired);
+  EXPECT_DOUBLE_EQ(sharded.now(), 2.0);
+
+  // At S=2 the strict window gate defers the same event — the documented
+  // divergence the horizon filter absorbs, pinned here so it stays a choice.
+  ShardedSimEngine strict(2, 2, kLookahead, nullptr);
+  bool strict_fired = false;
+  const auto doomed2 = strict.ScheduleLocal(0, 1.0, [] {});
+  strict.ScheduleLocal(0, 5.0, [&strict_fired] { strict_fired = true; });
+  strict.Cancel(doomed2);
+  strict.RunUntil(2.0);
+  EXPECT_FALSE(strict_fired);
+  strict.RunUntil(6.0);
+  EXPECT_TRUE(strict_fired);
+}
+
+}  // namespace
+}  // namespace varuna
