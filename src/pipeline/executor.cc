@@ -46,7 +46,7 @@ struct ExecutorScratch {
   // counts from earlier placements and are never read).
   std::vector<int> node_flows;
   std::vector<double> stage_end;
-  std::vector<GpuId> ring;   // Reused StageRing buffer (keeps the memo key stable).
+  std::vector<GpuId> ring;   // Reused StageRing buffer (no alloc per allreduce).
   std::vector<GpuId> group;  // Reused shared-state sync pair.
   uint64_t growths = 0;      // Runs that had to grow any of the above.
 };
