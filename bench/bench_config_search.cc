@@ -9,12 +9,19 @@
 //     table), scratch buffers hot;
 //   * the full joint P x m sweep at G=128, cold caches, serial vs pooled
 //     (ThreadPool with one worker per hardware thread);
-//   * the same sweep with warm memo (the repeated-cluster-size morph case).
-// Verifies pooled results are bit-identical to serial before reporting, and
-// writes BENCH_config_search.json (override with --json <path>).
+//   * the same sweep with warm memo (the repeated-cluster-size morph case);
+//   * a spot trace: sweeps at previously-unseen GPU counts, where the
+//     whole-sweep memo cannot hit and speed comes from candidate-level
+//     reuse + bound pruning. Three variants per G — from-scratch cold,
+//     incremental memo-only (prune off), incremental memo + pruning — with
+//     every variant's winner asserted bit-identical to the cold oracle
+//     before anything is timed. Headline: geomean per-G speedup vs cold.
+// Pass --no-prune to run the pruned variant as an unpruned oracle instead.
+// Writes BENCH_config_search.json (override with --json <path>).
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -40,20 +47,38 @@ Prepared Prepare(const TransformerSpec& spec, int gpus) {
   return prepared;
 }
 
+double Geomean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  for (const double value : values) {
+    log_sum += std::log(value);
+  }
+  return values.empty() ? 0.0 : std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Median(std::vector<double> values) {
+  VARUNA_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t mid = values.size() / 2;
+  return values.size() % 2 == 1 ? values[mid] : 0.5 * (values[mid - 1] + values[mid]);
+}
+
 int Run(int argc, char** argv) {
   std::string json_path = JsonPathFromArgs(argc, argv);
   if (json_path.empty()) {
     json_path = "BENCH_config_search.json";
   }
   const BenchMode mode = ModeFromArgs(argc, argv);
+  const bool prune = !FlagInArgs(argc, argv, "--no-prune");
   const int threads = ThreadPool::DefaultThreadCount();
   std::printf("=== config-search runtime (§7.2): GPT-2 8.3B, 128 GPUs, batch 8192 ===\n");
-  std::printf("hardware threads: %d\n\n", threads);
+  std::printf("hardware threads: %d%s\n\n", threads,
+              prune ? "" : "  [--no-prune: pruning disabled, oracle mode]");
 
   Prepared prepared = Prepare(Gpt2_8_3B(), 40);  // Calibration sample, reused for every case.
   SearchConstraints constraints;
   constraints.total_batch = 8192;
   constraints.budget.gpu_memory_bytes = Nc6V3().gpu.memory_bytes;
+  constraints.prune = false;  // The exhaustive baseline the sweep section times.
   const int gpus = 128;
 
   BenchJsonWriter json("bench_config_search");
@@ -132,16 +157,128 @@ int Run(int argc, char** argv) {
 
   const double speedup = serial_cold.median_ms / pooled_cold.median_ms;
   std::printf("pooled speedup: %.2fx on %d hardware thread(s)"
-              "%s\n",
+              "%s\n\n",
               speedup, threads,
               threads < 4 ? " (the >=2x target applies on >=4 cores)" : "");
+
+  // --- Spot trace: previously-unseen G, incremental vs from-scratch. --------
+  // An elastic session never re-decides the same cluster size twice in a row;
+  // it morphs to a G it has not seen. The whole-sweep memo misses there by
+  // construction — this section measures what candidate-level reuse and bound
+  // pruning recover. Warm history: a few sweeps at other sizes, as any live
+  // session has after its first morphs.
+  const int warm_points = mode.smoke ? 1 : 4;
+  const int trace_points = mode.smoke ? 3 : 40;
+  std::vector<int> sizes;  // 64..127, all distinct from the G=128 warmup.
+  for (int g = 64; g < 128; ++g) {
+    sizes.push_back(g);
+  }
+  Rng shuffle_rng(0xC0FFEE);  // Seeded: the trace is identical across runs.
+  for (size_t i = sizes.size() - 1; i > 0; --i) {
+    std::swap(sizes[i], sizes[shuffle_rng.UniformInt(0, static_cast<int64_t>(i))]);
+  }
+  VARUNA_CHECK_LE(static_cast<size_t>(warm_points + trace_points), sizes.size());
+  const std::vector<int> history(sizes.begin(), sizes.begin() + warm_points);
+  const std::vector<int> trace(sizes.begin() + warm_points,
+                               sizes.begin() + warm_points + trace_points);
+
+  SearchConstraints unpruned = constraints;  // prune already false.
+  SearchConstraints pruned = constraints;
+  pruned.prune = prune;
+
+  // Verification first: at every trace G, both incremental variants must pick
+  // the exact winner (operator==, doubles included) a from-scratch unpruned
+  // sweep picks. Separate instances from the timed ones — verifying on the
+  // timed instances would warm their memos and void the measurement.
+  {
+    ConfigSearch oracle(&prepared.spec, &prepared.sections, &prepared.calibration);
+    ConfigSearch memo_check(&prepared.spec, &prepared.sections, &prepared.calibration);
+    ConfigSearch pruned_check(&prepared.spec, &prepared.sections, &prepared.calibration);
+    (void)memo_check.Sweep(gpus, unpruned);
+    (void)pruned_check.Sweep(gpus, pruned);
+    for (const int g : history) {
+      (void)memo_check.Sweep(g, unpruned);
+      (void)pruned_check.Sweep(g, pruned);
+    }
+    for (const int g : trace) {
+      oracle.ClearCaches();
+      const JobConfig expected = oracle.Best(g, unpruned).value();
+      VARUNA_CHECK(memo_check.Best(g, unpruned).value() == expected)
+          << "incremental memo-only winner diverged from cold sweep at G=" << g;
+      VARUNA_CHECK(pruned_check.Best(g, pruned).value() == expected)
+          << "incremental pruned winner diverged from cold sweep at G=" << g;
+    }
+    std::printf("spot trace: %d unseen G values, incremental winners == cold winners "
+                "verified (pruned and unpruned)\n\n",
+                trace_points);
+  }
+
+  ConfigSearch cold_search(&prepared.spec, &prepared.sections, &prepared.calibration);
+  ConfigSearch memo_search(&prepared.spec, &prepared.sections, &prepared.calibration);
+  ConfigSearch pruned_search(&prepared.spec, &prepared.sections, &prepared.calibration);
+  (void)memo_search.Sweep(gpus, unpruned);
+  (void)pruned_search.Sweep(gpus, pruned);
+  for (const int g : history) {
+    (void)memo_search.Sweep(g, unpruned);
+    (void)pruned_search.Sweep(g, pruned);
+  }
+  const ConfigSearchStats trace_before = pruned_search.stats();
+
+  std::vector<double> cold_ms, memo_ms, pruned_ms, memo_speedups, pruned_speedups;
+  for (const int g : trace) {
+    cold_search.ClearCaches();
+    cold_ms.push_back(TimeOnceMs([&] { (void)cold_search.Sweep(g, unpruned); }));
+    memo_ms.push_back(TimeOnceMs([&] { (void)memo_search.Sweep(g, unpruned); }));
+    pruned_ms.push_back(TimeOnceMs([&] { (void)pruned_search.Sweep(g, pruned); }));
+    memo_speedups.push_back(cold_ms.back() / memo_ms.back());
+    pruned_speedups.push_back(cold_ms.back() / pruned_ms.back());
+  }
+  const ConfigSearchStats trace_after = pruned_search.stats();
+
+  const double geomean_memo = Geomean(memo_speedups);
+  const double geomean_pruned = Geomean(pruned_speedups);
+  Table trace_table({"variant", "median per-G (ms)", "geomean speedup vs cold"});
+  trace_table.AddRow({"from-scratch cold", Table::Num(Median(cold_ms), 2), "1.00x"});
+  trace_table.AddRow({"incremental, memo only", Table::Num(Median(memo_ms), 3),
+                      Table::Num(geomean_memo, 1) + "x"});
+  trace_table.AddRow({prune ? "incremental, memo + pruning" : "incremental, no-prune oracle",
+                      Table::Num(Median(pruned_ms), 3), Table::Num(geomean_pruned, 1) + "x"});
+  std::printf("%s\n", trace_table.Render().c_str());
+  std::printf("trace candidate counters (memo + pruning variant): "
+              "%llu hits, %llu misses, %llu pruned\n\n",
+              static_cast<unsigned long long>(trace_after.candidate_memo_hits -
+                                              trace_before.candidate_memo_hits),
+              static_cast<unsigned long long>(trace_after.candidate_memo_misses -
+                                              trace_before.candidate_memo_misses),
+              static_cast<unsigned long long>(trace_after.candidates_pruned -
+                                              trace_before.candidates_pruned));
 
   json.AddResult("sweep_cold_serial", serial_cold);
   json.AddResult("sweep_cold_pooled", pooled_cold);
   json.AddResult("sweep_warm_memoized", warm);
   json.AddScalar("pool_threads", threads);
+  if (threads < 2) {
+    json.AddString("pooled_caveat",
+                   "1 hardware thread: pooled == serial + dispatch, speedup is noise");
+  }
   json.AddScalar("feasible_configs", static_cast<double>(serial_configs.size()));
   json.AddScalar("speedup_pooled_vs_serial", speedup);
+  json.AddScalar("prune_enabled", prune ? 1.0 : 0.0);
+  json.AddScalar("trace_points", trace_points);
+  json.AddScalar("trace_cold_median_ms", Median(cold_ms));
+  json.AddScalar("trace_memo_median_ms", Median(memo_ms));
+  json.AddScalar("trace_pruned_median_ms", Median(pruned_ms));
+  json.AddScalar("geomean_speedup_memo", geomean_memo);
+  json.AddScalar("geomean_speedup_pruned", geomean_pruned);
+  json.AddScalar("trace_candidate_memo_hits",
+                 static_cast<double>(trace_after.candidate_memo_hits -
+                                     trace_before.candidate_memo_hits));
+  json.AddScalar("trace_candidate_memo_misses",
+                 static_cast<double>(trace_after.candidate_memo_misses -
+                                     trace_before.candidate_memo_misses));
+  json.AddScalar("trace_candidates_pruned",
+                 static_cast<double>(trace_after.candidates_pruned -
+                                     trace_before.candidates_pruned));
   if (!json.WriteTo(json_path)) {
     return 1;
   }

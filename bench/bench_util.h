@@ -64,6 +64,19 @@ BenchStats TimeIt(int warmup, int repeats, Fn&& fn) {
   return stats;
 }
 
+// One measured wall-clock run, no warmup. For measurements that are only
+// meaningful once — e.g. sweeping a previously-unseen input, where a repeat
+// would hit a memo and measure nothing; sample across inputs instead.
+template <typename Fn>
+double TimeOnceMs(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point begin = Clock::now();
+  fn();
+  const Clock::time_point end = Clock::now();
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - begin)
+      .count();
+}
+
 // Parses `--json <path>` from argv; returns empty string when absent.
 inline std::string JsonPathFromArgs(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {

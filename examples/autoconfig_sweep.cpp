@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   SearchConstraints constraints;
   constraints.total_batch = 8192;
   constraints.budget.gpu_memory_bytes = Nc6V3().gpu.memory_bytes;
+  // This example prints the full feasibility table; bound pruning would thin
+  // it to the competitive configs (the winner is identical either way).
+  constraints.prune = false;
   std::printf("micro-batch size picked once: m = %d (lowest m where F(m)/m stops improving)\n\n",
               search.PickMicrobatchSize(constraints.microbatch_tolerance));
 

@@ -621,6 +621,9 @@ void ElasticTrainer::SyncSearchStats() {
   const ConfigSearchStats stats = search_->stats();
   stats_.sweep_cache_hits = stats.sweep_cache_hits;
   stats_.sweep_cache_misses = stats.sweep_cache_misses;
+  stats_.candidate_memo_hits = stats.candidate_memo_hits;
+  stats_.candidate_memo_misses = stats.candidate_memo_misses;
+  stats_.candidates_pruned = stats.candidates_pruned;
 }
 
 void ElasticTrainer::RecordEvent(const std::string& kind) {

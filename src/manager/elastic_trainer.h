@@ -158,11 +158,17 @@ struct SessionStats {
   int64_t max_rollback_minibatches = 0;
   // fingerprint: checkpoint id of the latest restore.
   int64_t last_restore_step = -1;
-  // Morph-decision cost trackers: sweeps memoized by (G, calibration,
-  // constraints) resolve without re-simulation when a spot trace revisits a
-  // cluster size (snapshot of the ConfigSearch counters).
+  // Morph-decision cost trackers (snapshots of the ConfigSearch counters):
+  // whole sweeps memoized by (G, calibration, constraints) resolve without
+  // re-simulation when a spot trace revisits a cluster size, and individual
+  // fast-sim evaluations are memoized per (P, D, m, Nm) candidate so a morph
+  // to a previously-unseen G re-simulates only genuinely new tuples, with
+  // bound-pruned candidates skipping simulation entirely.
   uint64_t sweep_cache_hits = 0;    // observability: cache warmth, not state.
   uint64_t sweep_cache_misses = 0;  // observability
+  uint64_t candidate_memo_hits = 0;    // observability: candidate-grain reuse.
+  uint64_t candidate_memo_misses = 0;  // observability
+  uint64_t candidates_pruned = 0;      // observability: bound-pruned, unsimulated.
   // Simulation-core perf counters (snapshots of the persistent executor and
   // the cluster Network; reported by the benches, never fingerprinted).
   uint64_t executor_events = 0;           // observability: DES events fired.

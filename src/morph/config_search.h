@@ -11,21 +11,36 @@
 // morphing, §4.2): Nm = ceil(M_total / (m * D)) via gradient accumulation.
 //
 // The sweep is the hot path of every morph decision (§7.2), so it is built to
-// be re-run at every preemption/arrival event:
-//   * Candidate depths are independent, so with a ThreadPool attached they are
-//     evaluated fan-out/join in parallel — one FastSimulator per worker, stall
-//     RNG seeded per candidate, results merged in ascending (P, m) order, so
-//     pooled output is bit-identical to a serial sweep.
-//   * A ScheduleCache generates+validates each (kind, P, Nm) shape once.
-//   * Whole sweeps are memoized by (G, calibration fingerprint, constraints):
-//     a spot trace revisits the same cluster sizes for hours, and those morph
-//     events resolve without any re-simulation. Recalibrating changes the
-//     fingerprint and naturally invalidates every memoized sweep.
+// be re-run at every preemption/arrival event, with reuse at three grains:
+//   * Individual FastSimulator evaluations are memoized per candidate,
+//     keyed (P, D, m, Nm, schedule kind) within a context fingerprint over
+//     the calibration and every constraint field. Nm depends only on (D, m),
+//     so sweeps at neighboring G share almost all candidates: a morph from
+//     G=128 to a previously-unseen G=120 re-simulates only the handful of
+//     genuinely new (P, D, m) tuples. Any recalibration or constraint change
+//     rotates the context fingerprint and clears the table — a stale hit
+//     would be a silent wrong morph.
+//   * A cheap analytic lower bound (FastSimulator::LowerBoundMinibatch:
+//     zero-bubble compute + minimal allreduce from calibrated scalars) prunes
+//     candidates that provably cannot beat the incumbent best before they are
+//     simulated. Pruning never changes Best(); it thins Sweep()'s list.
+//   * Un-memoized, un-pruned candidates are simulated in fixed-size rounds
+//     fanned out over the optional ThreadPool (one FastSimulator per worker,
+//     stall RNG seeded per candidate) and merged in ascending (P, m) order.
+//     Round size is a constant — never the worker count — so pruning
+//     decisions, and therefore the full result vector, are bit-identical
+//     across serial and pooled sweeps (property-tested).
+// Whole sweeps are additionally memoized by (G, calibration fingerprint,
+// constraints): an exact revisit of a cluster size resolves without touching
+// the candidate table at all. A ScheduleCache generates+validates each
+// (kind, P, Nm) shape once; hits on the candidate memo never need a schedule.
+// All sweep-path tables are flat (sorted vectors / open addressing) per the
+// varuna_lint hot-path rule.
 #ifndef SRC_MORPH_CONFIG_SEARCH_H_
 #define SRC_MORPH_CONFIG_SEARCH_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <tuple>
 #include <vector>
@@ -72,6 +87,11 @@ struct SearchConstraints {
   // m plus up to this many - 1 larger profiled sizes. 1 recovers the old
   // fixed-m sweep.
   int microbatch_candidates = 3;
+  // Skip simulating candidates whose analytic lower bound already exceeds the
+  // incumbent best. Sound: the bound never exceeds the simulated time, so the
+  // winner — and Best() — are bit-identical with or without pruning; only
+  // Sweep()'s returned list thins. Disable for exhaustive diagnostics.
+  bool prune = true;
 };
 
 // Cumulative cache/workload counters (monotone; snapshot and subtract to
@@ -81,11 +101,62 @@ struct ConfigSearchStats {
   uint64_t sweep_cache_hits = 0;
   uint64_t sweep_cache_misses = 0;
   uint64_t candidates_simulated = 0;    // FastSimulator invocations.
+  // Candidate-grain reuse: probes of the per-candidate fast-sim memo during
+  // un-memoized sweeps, and candidates skipped by the bound check (a pruned
+  // candidate is a memo miss that never reaches the simulator).
+  uint64_t candidate_memo_hits = 0;
+  uint64_t candidate_memo_misses = 0;
+  uint64_t candidates_pruned = 0;
+};
+
+// Identity of one fast-sim evaluation within a fixed (calibration,
+// constraints) context. The context itself is not part of the key: the memo
+// stores a context fingerprint and clears wholesale when it rotates.
+struct CandidateKey {
+  int32_t depth = 0;             // P
+  int32_t replicas = 0;          // D
+  int32_t microbatch = 0;        // m
+  int32_t num_microbatches = 0;  // Nm = ceil(M_total / (m * D)).
+  int32_t schedule_kind = 0;
+
+  bool operator==(const CandidateKey&) const = default;
+};
+
+// Flat open-addressing (linear-probe, power-of-two capacity) table from
+// CandidateKey to FastSimResult. Not thread-safe: ConfigSearch only touches
+// it from the serial phases of a sweep (probes before the fan-out, inserts
+// after each round's join), which is what keeps the hit path lock-free.
+class CandidateMemo {
+ public:
+  // Clears the table when `context_fingerprint` differs from the stored one
+  // (recalibration or changed constraints). Returns true if it cleared.
+  bool SyncContext(uint64_t context_fingerprint);
+
+  // Null on miss. The pointer is invalidated by the next Insert().
+  const FastSimResult* Find(const CandidateKey& key) const;
+  void Insert(const CandidateKey& key, const FastSimResult& result);
+
+  size_t size() const { return size_; }
+  void Clear();
+
+ private:
+  struct Slot {
+    CandidateKey key;
+    FastSimResult result;
+    bool occupied = false;
+  };
+
+  static uint64_t Hash(const CandidateKey& key);
+  void Grow();
+
+  std::vector<Slot> slots_;  // Capacity a power of two (or empty).
+  size_t size_ = 0;
+  uint64_t context_fingerprint_ = 0;
 };
 
 class ConfigSearch {
  public:
-  // `pool` is optional: null (or a 1-thread pool) keeps the sweep serial.
+  // `pool` is optional: null (or a 1-worker pool) keeps the sweep serial.
   // Pooled and serial sweeps return bit-identical results.
   ConfigSearch(const TransformerSpec* spec, const ModelSections* sections,
                const Calibration* calibration, ThreadPool* pool = nullptr)
@@ -105,8 +176,10 @@ class ConfigSearch {
   // the deepest pipeline cannot fit (too few GPUs or memory).
   Result<JobConfig> Best(int gpus, const SearchConstraints& constraints) const;
 
-  // All feasible configurations evaluated during the sweep (for diagnostics
-  // and the Table 3 bench), ascending by (P, m).
+  // The feasible configurations evaluated during the sweep (for diagnostics
+  // and the Table 3 bench), ascending by (P, m). With constraints.prune set,
+  // bound-pruned candidates are omitted (they are provably not the best);
+  // disable pruning for the exhaustive list.
   Result<std::vector<JobConfig>> Sweep(int gpus, const SearchConstraints& constraints) const;
 
   // The shared schedule memo (also used by the manager for executor runs).
@@ -114,23 +187,29 @@ class ConfigSearch {
 
   ConfigSearchStats stats() const;
 
-  // Drops memoized sweeps and schedules (for cold-start benchmarking).
+  // Drops memoized sweeps, candidate evaluations, partitions and schedules
+  // (for cold-start benchmarking).
   void ClearCaches() const;
 
  private:
   bool StageMemoryFits(const Partition& partition, int m, int num_microbatches,
                        const SearchConstraints& constraints) const;
 
-  // Evaluates every feasible (depth, m) candidate at this depth, ascending in
-  // m. Pure function of its arguments; `simulator` is per-worker scratch.
-  std::vector<JobConfig> EvaluateDepth(int depth, int gpus, const std::vector<int>& ms,
-                                       const SearchConstraints& constraints,
-                                       FastSimulator* simulator) const;
+  // Balanced partition for `depth`, computed once per depth and cached
+  // (it depends only on the fixed model sections). Null when infeasible.
+  const Partition* PartitionForDepth(int depth) const;
+
+  // FNV-1a over the calibration fingerprint and every constraint field that
+  // can influence a candidate's enumeration or simulated time. The candidate
+  // memo clears when this rotates (conservative: a budget change cannot alter
+  // sim results, but forcing re-simulation makes stale-hit bugs structurally
+  // impossible and is covered by the invalidation tests).
+  uint64_t ContextFingerprint(const SearchConstraints& constraints) const;
 
   // (G, calibration fingerprint, every constraint field): the complete input
   // of Sweep. An empty cached vector records an infeasible sweep.
-  using SweepKey =
-      std::tuple<int, uint64_t, double, double, double, int, double, bool, double, int>;
+  using SweepKey = std::tuple<int, uint64_t, double, double, double, int, double, bool,
+                              double, int, bool>;
   SweepKey MakeSweepKey(int gpus, const SearchConstraints& constraints) const;
 
   const TransformerSpec* spec_;
@@ -138,17 +217,27 @@ class ConfigSearch {
   const Calibration* calibration_;
   ThreadPool* pool_;
 
-  // Serialises whole sweeps: the per-worker simulators are shared state, so
-  // two externally concurrent Sweep() calls on one instance must not overlap
-  // (the internal fan-out is unaffected).
+  // Serialises whole sweeps: the per-worker simulators, the candidate memo
+  // and the partition cache are shared state, so two externally concurrent
+  // Sweep() calls on one instance must not overlap (the internal fan-out is
+  // unaffected).
   mutable std::mutex sweep_mutex_;
   mutable ScheduleCache schedule_cache_;
   mutable std::mutex cache_mutex_;  // Guards sweep_cache_, stats_, simulators_.
-  mutable std::map<SweepKey, std::vector<JobConfig>> sweep_cache_;
+  // Whole-sweep memo, sorted by key (flat: binary-search hits, O(n) miss-only
+  // inserts — a session sees hundreds of sweeps, not millions).
+  mutable std::vector<std::pair<SweepKey, std::vector<JobConfig>>> sweep_cache_;
   mutable ConfigSearchStats stats_;
   // One simulator per worker, constructed once and reused across sweeps so
   // the scratch buffers amortise (hoisted out of the per-candidate loop).
   mutable std::vector<FastSimulator> simulators_;
+  // Candidate-grain fast-sim memo (guarded by sweep_mutex_, not cache_mutex_:
+  // it is only touched from the serial phases of a sweep).
+  mutable CandidateMemo candidate_memo_;
+  // partitions_[depth] once computed; partition_known_[depth] distinguishes
+  // "not yet tried" from "infeasible" (null entry).
+  mutable std::vector<std::unique_ptr<Partition>> partitions_;
+  mutable std::vector<uint8_t> partition_known_;
 };
 
 }  // namespace varuna

@@ -7,6 +7,47 @@
 
 namespace varuna {
 
+double FastSimulator::LowerBoundMinibatch(const FastSimConfig& config,
+                                          int num_microbatches) const {
+  VARUNA_CHECK(config.sections != nullptr && config.partition != nullptr);
+  const int depth = config.partition->depth();
+  const int m = config.microbatch_size;
+  const double microbatches = static_cast<double>(num_microbatches);
+  // Per-stage sums accumulate in the same ascending-section order as
+  // EstimateMinibatch's prologue, so each stage's fwd/bwd/allreduce scalars
+  // are bit-equal to the simulator's. The simulated critical path for stage s
+  // is at least: the fill chain of first forwards through stages < s, plus
+  // Nm serial (forward + backward) executions at s, plus s's allreduce — the
+  // zero-bubble floor. Sends, stalls and schedule bubbles only add time.
+  double prefix_fwd = 0.0;
+  double bound = 0.0;
+  for (int s = 0; s < depth; ++s) {
+    const int begin = config.partition->stage_begin[static_cast<size_t>(s)];
+    const int end = config.partition->stage_begin[static_cast<size_t>(s) + 1];
+    double fwd = 0.0;
+    double bwd = 0.0;
+    double allreduce = 0.0;
+    for (int section = begin; section < end; ++section) {
+      fwd += calibration_->ForwardTime(section, m);
+      bwd += calibration_->BackwardTime(section, m);
+      allreduce += calibration_->allreduce.Predict(
+          2.0 * config.sections->params[static_cast<size_t>(section)], config.data_parallel);
+    }
+    bound = std::max(bound, prefix_fwd + microbatches * (fwd + bwd) + allreduce);
+    prefix_fwd += fwd;
+  }
+  if (config.shared_sync_bytes > 0.0 && depth > 1) {
+    bound += calibration_->allreduce.Predict(config.shared_sync_bytes, 2);
+  }
+  // The simulator accumulates the same quantities through sequential adds
+  // (free_at_ += duration, Nm times) while this closed form multiplies; the
+  // two can differ by a few ulps in either direction. Scale down by 1e-9
+  // relative — orders of magnitude above the accumulated rounding error — so
+  // the bound stays a true lower bound of the simulated double, and pruning
+  // can never drop a candidate that would have tied or won bit-exactly.
+  return bound * (1.0 - 1e-9);
+}
+
 FastSimResult FastSimulator::EstimateMinibatch(const Schedule& schedule,
                                                const FastSimConfig& config) {
   VARUNA_CHECK(config.sections != nullptr && config.partition != nullptr);

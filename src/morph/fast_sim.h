@@ -53,6 +53,15 @@ class FastSimulator {
   // the arguments and the calibration, never on prior calls.
   FastSimResult EstimateMinibatch(const Schedule& schedule, const FastSimConfig& config);
 
+  // Analytic lower bound on EstimateMinibatch(...).minibatch_s for the same
+  // config at `num_microbatches`, computed from the calibrated scalars alone
+  // (no schedule needed): zero-bubble pipeline fill + per-stage serial compute
+  // + that stage's allreduce + the shared-state sync. Stalls, sends and
+  // schedule bubbles only ever add time, so the bound never exceeds the
+  // simulated value; ConfigSearch uses it to skip simulating candidates that
+  // cannot beat the incumbent best. O(P), allocation-free, pure.
+  double LowerBoundMinibatch(const FastSimConfig& config, int num_microbatches) const;
+
  private:
   const Calibration* calibration_;
 

@@ -1,24 +1,42 @@
 #include "src/pipeline/schedule_cache.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace varuna {
 
+uint64_t ScheduleCache::PackKey(ScheduleKind kind, int depth, int num_microbatches) {
+  VARUNA_CHECK_GT(depth, 0);
+  VARUNA_CHECK_GT(num_microbatches, 0);
+  VARUNA_CHECK_LT(depth, 1 << 30);
+  VARUNA_CHECK_LT(num_microbatches, 1 << 30);
+  return (static_cast<uint64_t>(kind) << 60) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(depth)) << 30) |
+         static_cast<uint64_t>(static_cast<uint32_t>(num_microbatches));
+}
+
 const Schedule& ScheduleCache::Get(ScheduleKind kind, int depth, int num_microbatches) {
-  const Key key{static_cast<int>(kind), depth, num_microbatches};
+  const uint64_t key = PackKey(kind, depth, num_microbatches);
   std::unique_lock<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& entry, uint64_t probe) { return entry.key < probe; });
+  if (it != entries_.end() && it->key == key) {
     ++stats_.hits;
-    return *it->second;
+    return *it->schedule;
   }
   ++stats_.misses;
   // Generation runs under the lock: concurrent first requests for the same
   // shape must not both generate, and a cold sweep's shapes are all distinct
-  // anyway, so contention here is a non-issue.
-  auto schedule = std::make_unique<Schedule>(GenerateSchedule(kind, depth, num_microbatches));
-  const Schedule& ref = *schedule;
-  entries_.emplace(key, std::move(schedule));
+  // anyway, so contention here is a non-issue. The sorted insert is O(n) but
+  // miss-only; the hit path is a binary search over flat memory.
+  Entry entry;
+  entry.key = key;
+  entry.schedule = std::make_unique<Schedule>(GenerateSchedule(kind, depth, num_microbatches));
+  const Schedule& ref = *entry.schedule;
+  entries_.insert(it, std::move(entry));
   return ref;
 }
 

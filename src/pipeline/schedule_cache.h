@@ -7,18 +7,22 @@
 // input of GenerateSchedule — so each shape is generated and validated exactly
 // once per process.
 //
+// The index is a flat sorted vector of packed 64-bit keys (the sweep hot path
+// may not touch node-based containers — varuna_lint rule "hot-path"): lookups
+// binary-search, misses insert in key order (cold path only). Entries are
+// heap-allocated, so returned references survive later insertions.
+//
 // Thread-safe: Get() may be called concurrently from ThreadPool workers during
-// a pooled sweep. Entries are heap-allocated and never evicted, so returned
-// references stay valid for the cache's lifetime (Clear() is the exception and
-// must only be called while no other thread is in Get()).
+// a pooled sweep. Entries are never evicted, so returned references stay valid
+// for the cache's lifetime (Clear() is the exception and must only be called
+// while no other thread is in Get()).
 #ifndef SRC_PIPELINE_SCHEDULE_CACHE_H_
 #define SRC_PIPELINE_SCHEDULE_CACHE_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <tuple>
+#include <vector>
 
 #include "src/pipeline/schedule.h"
 
@@ -42,10 +46,17 @@ class ScheduleCache {
   void Clear();
 
  private:
-  using Key = std::tuple<int, int, int>;  // (kind, depth, num_microbatches).
+  struct Entry {
+    uint64_t key = 0;  // PackKey(kind, depth, num_microbatches).
+    std::unique_ptr<Schedule> schedule;
+  };
+
+  // depth and num_microbatches are bounded far below 2^30 (depth <= cut-point
+  // count, Nm <= M_total), so the packing is collision-free.
+  static uint64_t PackKey(ScheduleKind kind, int depth, int num_microbatches);
 
   mutable std::mutex mutex_;
-  std::map<Key, std::unique_ptr<Schedule>> entries_;
+  std::vector<Entry> entries_;  // Sorted ascending by key.
   ScheduleCacheStats stats_;
 };
 

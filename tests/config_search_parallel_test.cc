@@ -161,18 +161,27 @@ TEST(ScheduleCacheTest, GeneratesEachShapeOnce) {
   EXPECT_EQ(cache.stats().hits, 0u);
 }
 
-TEST(ConfigSearchParallelTest, SweepReusesScheduleShapes) {
+TEST(ConfigSearchParallelTest, SweepReusesCandidatesAcrossClusterSizes) {
   Fixture fx;
   const SearchConstraints constraints = DefaultConstraints();
   ConfigSearch search(&fx.spec, &fx.sections, &fx.calibration);
   ASSERT_TRUE(search.Sweep(36, constraints).ok());
-  const ScheduleCacheStats cold = search.schedule_cache()->stats();
-  EXPECT_GT(cold.misses, 0u);
-  // A second cluster size re-derives many of the same (P, Nm) shapes; those
-  // must come from the cache, not GenerateSchedule.
+  const ConfigSearchStats cold = search.stats();
+  EXPECT_GT(cold.candidates_simulated, 0u);
+  EXPECT_EQ(cold.candidate_memo_hits, 0u);
+  // A second cluster size re-derives many of the same (P, D, m, Nm) tuples
+  // (D = G/P is unchanged for most P); those must come from the candidate
+  // memo without re-simulation — and a memoized candidate never even needs
+  // its schedule, so the schedule cache is not touched for it either.
+  const ScheduleCacheStats schedules_cold = search.schedule_cache()->stats();
   ASSERT_TRUE(search.Sweep(35, constraints).ok());
-  const ScheduleCacheStats warm = search.schedule_cache()->stats();
-  EXPECT_GT(warm.hits, cold.hits);
+  const ConfigSearchStats warm = search.stats();
+  EXPECT_GT(warm.candidate_memo_hits, 0u);
+  const uint64_t resimulated = warm.candidates_simulated - cold.candidates_simulated;
+  EXPECT_LT(resimulated, cold.candidates_simulated);
+  // Only freshly simulated candidates may generate schedules.
+  const ScheduleCacheStats schedules_warm = search.schedule_cache()->stats();
+  EXPECT_LE(schedules_warm.misses - schedules_cold.misses, resimulated);
 }
 
 // End-to-end: an elastic session whose morph decisions run on a 4-worker pool

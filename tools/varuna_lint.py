@@ -40,14 +40,16 @@ Rules (each can be suppressed on a line with `// varuna-lint: allow(<rule>)`):
                   config search, the elastic trainer, and the pooled
                   micro-batch trainers in src/train.
 
-  hot-path        The per-event simulation hot path (src/sim/ and the pipeline
-                  executor) must stay allocation-free in steady state:
+  hot-path        The per-event simulation hot path (src/sim/, the pipeline
+                  executor) and the morph-decision sweep (src/morph/, the
+                  schedule cache) must stay allocation-free in steady state:
                   node-based containers (std::map / std::unordered_map /
                   std::unordered_set / std::set) and std::function (heap
                   fallback above ~16 bytes of capture) are banned there — use
-                  flat vectors, the SimEngine slot pool, and SmallCallback
-                  (src/sim/callback.h). Deliberate exceptions go on the
-                  reviewed HOT_PATH_ALLOW_FILES list.
+                  flat vectors, the SimEngine slot pool, open-addressing memo
+                  tables, and SmallCallback (src/sim/callback.h). Deliberate
+                  exceptions go on the reviewed HOT_PATH_ALLOW_FILES list
+                  (today: the one-time calibration's profiled-point maps).
 
   tensor-by-value Passing varuna::Tensor by value copies the whole element
                   buffer — one stray signature silently reintroduces the
@@ -135,11 +137,24 @@ HOT_PATH_PATTERNS = [
     (re.compile(r"#\s*include\s*<(map|set|unordered_map|unordered_set|functional)>"),
      "node-based/functional include"),
 ]
-# The simulation hot path: every file under src/sim/ plus the executor.
-HOT_PATH_PREFIXES = ("src/sim/",)
-HOT_PATH_FILES = ("src/pipeline/executor.h", "src/pipeline/executor.cc")
-# Explicit, reviewed exceptions (none today — keep it that way).
-HOT_PATH_ALLOW_FILES = ()
+# The simulation hot path: every file under src/sim/, plus the executor, plus
+# the morph-decision sweep (src/morph/ and the schedule cache it leans on) —
+# the config search runs at every preemption/arrival event and its memo
+# tables must stay flat (sorted vectors / open addressing, no node chasing).
+HOT_PATH_PREFIXES = ("src/sim/", "src/morph/")
+HOT_PATH_FILES = (
+    "src/pipeline/executor.h",
+    "src/pipeline/executor.cc",
+    "src/pipeline/schedule_cache.h",
+    "src/pipeline/schedule_cache.cc",
+)
+# Explicit, reviewed exceptions. Calibration is the one-time profiling step
+# (§4.3): its std::map of profiled (m -> seconds) points is built once at job
+# start and only read via interpolation afterwards — cold path by contract.
+HOT_PATH_ALLOW_FILES = (
+    "src/morph/calibration.h",
+    "src/morph/calibration.cc",
+)
 
 # --- tensor-by-value --------------------------------------------------------
 
