@@ -7,8 +7,11 @@
 // smoke beyond the unit-test battery: `--campaigns 200` is the CI setting.
 //
 //   bench_chaos_campaigns [--campaigns N] [--smoke] [--json PATH]
+//                         [--policy reactive|proactive|oracle]
 //
-// `--campaigns=N` is accepted too. `--smoke` clamps the sweep to 8 campaigns.
+// `--campaigns=N` is accepted too. `--smoke` clamps the sweep to 8 campaigns
+// and the head-to-head to 4 seeds. `--policy` selects the morph policy for
+// the random-campaign sweep (the head-to-head always runs all three).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,11 +37,111 @@ int CampaignsFromArgs(int argc, char** argv, int fallback) {
   return IntFromArgs(argc, argv, "--campaigns", fallback);
 }
 
+MorphPolicy PolicyFromArgs(int argc, char** argv) {
+  std::string value;
+  const std::string prefix = "--policy=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+    } else if (arg == "--policy" && i + 1 < argc) {
+      value = argv[i + 1];
+    }
+  }
+  if (value == "proactive") {
+    return MorphPolicy::kProactive;
+  }
+  if (value == "oracle") {
+    return MorphPolicy::kOracleProactive;
+  }
+  if (!value.empty() && value != "reactive") {
+    std::fprintf(stderr, "unknown --policy '%s' (want reactive|proactive|oracle)\n",
+                 value.c_str());
+    std::exit(2);
+  }
+  return MorphPolicy::kReactive;
+}
+
+const char* PolicyName(MorphPolicy policy) {
+  switch (policy) {
+    case MorphPolicy::kReactive:
+      return "reactive";
+    case MorphPolicy::kProactive:
+      return "proactive";
+    case MorphPolicy::kOracleProactive:
+      return "oracle";
+  }
+  return "?";
+}
+
+// Per-policy aggregates over the head-to-head storm campaigns.
+struct PolicyAggregate {
+  int64_t minibatches = 0;
+  int64_t rolled_back = 0;
+  int64_t restarts = 0;
+  int64_t proactive_morphs = 0;
+  int64_t premigrated_shards = 0;
+  double premigrated_bytes = 0.0;
+};
+
+// Runs the same seeded storm campaigns under all three morph policies and
+// proves bit-identical replay of each policy before reporting. This is the
+// headline liveput evaluation: identical fault schedule, only the policy
+// differs.
+void HeadToHead(int seeds, bool* proactive_beats_reactive, PolicyAggregate* out_aggs) {
+  constexpr MorphPolicy kPolicies[] = {MorphPolicy::kReactive, MorphPolicy::kProactive,
+                                       MorphPolicy::kOracleProactive};
+  std::printf("=== Head-to-head: %d storm campaigns x {reactive, proactive, oracle} ===\n\n",
+              seeds);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    for (int p = 0; p < 3; ++p) {
+      ChaosCampaignSpec spec = StormyChaosCampaign(static_cast<uint64_t>(seed));
+      spec.options.morph_policy = kPolicies[p];
+      const ChaosReport report = RunChaosCampaign(spec);
+      // Replay assertion before any numbers are trusted: every policy mode
+      // must be bit-replayable on the shared DES.
+      if (seed % 4 == 1) {
+        const ChaosReport replay = RunChaosCampaign(spec);
+        if (replay.fingerprint != report.fingerprint || !(replay.trace == report.trace)) {
+          std::fprintf(stderr, "FATAL: head-to-head seed %d policy %s replay diverged\n",
+                       seed, PolicyName(kPolicies[p]));
+          std::exit(1);
+        }
+      }
+      PolicyAggregate& agg = out_aggs[p];
+      agg.minibatches += report.stats.minibatches_done;
+      agg.rolled_back += report.stats.minibatches_rolled_back;
+      agg.restarts += report.stats.restarts;
+      agg.proactive_morphs += report.stats.proactive_morphs;
+      agg.premigrated_shards += report.stats.premigrated_shards;
+      agg.premigrated_bytes += report.stats.premigrated_bytes;
+    }
+  }
+  Table table({"policy", "mini-batches", "rolled back", "restarts", "proactive morphs",
+               "pre-migrated shards", "pre-migrated GB"});
+  for (int p = 0; p < 3; ++p) {
+    const PolicyAggregate& agg = out_aggs[p];
+    table.AddRow({PolicyName(kPolicies[p]), std::to_string(agg.minibatches),
+                  std::to_string(agg.rolled_back), std::to_string(agg.restarts),
+                  std::to_string(agg.proactive_morphs), std::to_string(agg.premigrated_shards),
+                  Table::Num(agg.premigrated_bytes / 1e9, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  *proactive_beats_reactive = out_aggs[1].minibatches >= out_aggs[0].minibatches &&
+                              out_aggs[1].rolled_back < out_aggs[0].rolled_back;
+  std::printf("proactive vs reactive: %+lld mini-batches, %+lld rolled back (%s)\n\n",
+              static_cast<long long>(out_aggs[1].minibatches - out_aggs[0].minibatches),
+              static_cast<long long>(out_aggs[1].rolled_back - out_aggs[0].rolled_back),
+              *proactive_beats_reactive ? "proactive wins" : "NO WIN");
+}
+
 void Run(int argc, char** argv) {
   const BenchMode mode = ModeFromArgs(argc, argv);
   const int campaigns = CampaignsFromArgs(argc, argv, mode.smoke ? 8 : 200);
+  const MorphPolicy policy = PolicyFromArgs(argc, argv);
 
-  std::printf("=== Chaos campaign sweep: %d seeded random campaigns ===\n\n", campaigns);
+  std::printf("=== Chaos campaign sweep: %d seeded random campaigns (policy=%s) ===\n\n",
+              campaigns, PolicyName(policy));
 
   int64_t actions = 0;
   int64_t preemptions = 0;
@@ -59,7 +162,8 @@ void Run(int argc, char** argv) {
 
   const BenchStats wall = TimeIt(0, 1, [&] {
     for (int seed = 1; seed <= campaigns; ++seed) {
-      const ChaosCampaignSpec spec = RandomChaosCampaign(static_cast<uint64_t>(seed));
+      ChaosCampaignSpec spec = RandomChaosCampaign(static_cast<uint64_t>(seed));
+      spec.options.morph_policy = policy;
       const ChaosReport report = RunChaosCampaign(spec);
       actions += static_cast<int64_t>(spec.plan.actions.size());
       preemptions += report.stats.preemptions_hit;
@@ -130,6 +234,12 @@ void Run(int argc, char** argv) {
     SimCoreStorm<SimEngine> storm(99, storm_target);
     storm.Run();
   });
+  const int head_to_head_seeds =
+      IntFromArgs(argc, argv, "--h2h", mode.smoke ? 4 : 20);
+  bool proactive_wins = false;
+  PolicyAggregate policy_aggs[3];
+  HeadToHead(head_to_head_seeds, &proactive_wins, policy_aggs);
+
   Table engines({"engine (storm = 1 campaign of events)", "before ms", "after ms", "speedup"});
   engines.AddRow({"legacy queue -> slot-pool 4-ary heap",
                   Table::Num(legacy_storm.median_ms, 3), Table::Num(current_storm.median_ms, 3),
@@ -158,6 +268,19 @@ void Run(int argc, char** argv) {
                    static_cast<double>(executor_events) / (wall.mean_ms / 1e3));
     json.AddScalar("ring_cache_hits", static_cast<double>(ring_cache_hits));
     json.AddScalar("ring_cache_misses", static_cast<double>(ring_cache_misses));
+    json.AddScalar("head_to_head_seeds", static_cast<double>(head_to_head_seeds));
+    json.AddScalar("head_to_head_proactive_wins", proactive_wins ? 1.0 : 0.0);
+    const char* policy_keys[3] = {"reactive", "proactive", "oracle"};
+    for (int p = 0; p < 3; ++p) {
+      const std::string key = policy_keys[p];
+      json.AddScalar(key + "_minibatches", static_cast<double>(policy_aggs[p].minibatches));
+      json.AddScalar(key + "_rolled_back", static_cast<double>(policy_aggs[p].rolled_back));
+      json.AddScalar(key + "_restarts", static_cast<double>(policy_aggs[p].restarts));
+      json.AddScalar(key + "_proactive_morphs",
+                     static_cast<double>(policy_aggs[p].proactive_morphs));
+      json.AddScalar(key + "_premigrated_shards",
+                     static_cast<double>(policy_aggs[p].premigrated_shards));
+    }
     json.AddResult("sweep", wall);
     json.AddResult("engine_storm_before", legacy_storm);
     json.AddResult("engine_storm_after", current_storm);

@@ -1,6 +1,7 @@
 #include "src/chaos/chaos.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/cluster/vm.h"
@@ -86,6 +87,37 @@ void ChaosEngine::Start() {
   for (const ChaosAction& action : plan_.actions) {
     VARUNA_CHECK_GE(action.at_s, 0.0);
     engine_->Schedule(action.at_s, [this, action] { Fire(action); });
+    ForecastAction(action);
+  }
+}
+
+void ChaosEngine::ForecastAction(const ChaosAction& action) {
+  // Storm forecasts for the oracle-proactive upper bound. The trainer drops
+  // them unless its policy is kOracleProactive, so reactive and online-
+  // predictor campaigns are untouched.
+  switch (action.kind) {
+    case ChaosActionKind::kPreemptionStorm:
+      // Mirror Fire()'s spread: each kill is its own forecast entry.
+      for (int i = 0; i < action.count; ++i) {
+        const double delay =
+            action.count > 1 ? action.duration_s * i / (action.count - 1) : 0.0;
+        trainer_->ForecastStorm(action.at_s + delay, 1);
+      }
+      break;
+    case ChaosActionKind::kMidMorphPreempt:
+      // Fires mid-restore of the next morph after arming — timing unknowable
+      // in advance, so forecast at the arming time (conservative).
+      trainer_->ForecastStorm(action.at_s, action.count);
+      break;
+    case ChaosActionKind::kCapacityCrash: {
+      const double fraction = std::clamp(action.magnitude, 0.0, 1.0);
+      const int kills = static_cast<int>(
+          std::ceil((1.0 - fraction) * market_->PoolMaxVms(market_pool_)));
+      trainer_->ForecastStorm(action.at_s, kills);
+      break;
+    }
+    default:
+      break;  // Stutter/heartbeat/corruption actions do not evict VMs.
   }
 }
 
@@ -216,6 +248,29 @@ ChaosCampaignSpec RandomChaosCampaign(uint64_t seed) {
   Rng plan_rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
   const int num_actions = 2 + static_cast<int>(plan_rng.UniformInt(0, 4));
   spec.plan = ChaosPlan::Random(&plan_rng, spec.horizon_s, num_actions);
+  return spec;
+}
+
+ChaosCampaignSpec StormyChaosCampaign(uint64_t seed) {
+  ChaosCampaignSpec spec = DefaultChaosCampaign(seed);
+  // Elevated baseline churn plus scripted eviction waves over a longer
+  // horizon. Sparse checkpoint cadence so a storm that lands between
+  // checkpoints rolls back real work — the gap pre-migration closes.
+  spec.preemption_hazard_per_s = 1.0 / (2.5 * 3600.0);
+  spec.horizon_s = 2.0 * 3600.0;
+  spec.options.checkpoint_every_minibatches = 16;
+  Rng storm_rng(seed * 2654435761ULL + 99991ULL);
+  const int num_storms = 3 + static_cast<int>(storm_rng.UniformInt(0, 2));
+  for (int i = 0; i < num_storms; ++i) {
+    ChaosAction storm;
+    storm.kind = ChaosActionKind::kPreemptionStorm;
+    storm.at_s = storm_rng.Uniform(0.10, 0.85) * spec.horizon_s;
+    storm.count = static_cast<int>(storm_rng.UniformInt(2, 6));
+    storm.duration_s = storm_rng.Uniform(30.0, 240.0);
+    spec.plan.actions.push_back(storm);
+  }
+  std::sort(spec.plan.actions.begin(), spec.plan.actions.end(),
+            [](const ChaosAction& a, const ChaosAction& b) { return a.at_s < b.at_s; });
   return spec;
 }
 

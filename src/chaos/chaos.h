@@ -87,6 +87,9 @@ class ChaosEngine {
 
  private:
   void Fire(const ChaosAction& action);
+  // Feeds the trainer's oracle predictor the storm schedule (no-op for the
+  // reactive and online-predictor policies).
+  void ForecastAction(const ChaosAction& action);
   // Polls until shards are mid-flush (or `deadline_s` passes), then kills up
   // to `count` owner VMs unannounced.
   void PollShardKill(double deadline_s, int count);
@@ -127,6 +130,11 @@ ChaosCampaignSpec DefaultChaosCampaign(uint64_t seed);
 // Campaign whose plan (kinds, times, intensities) is drawn from `seed` — the
 // property-test generator.
 ChaosCampaignSpec RandomChaosCampaign(uint64_t seed);
+// Storm-heavy head-to-head testbed: elevated baseline hazard plus several
+// seeded preemption storms over a longer horizon and a sparser checkpoint
+// cadence — the regime where reactive recovery bleeds rollbacks and the
+// liveput policy (spec.options.morph_policy, default reactive) can pay off.
+ChaosCampaignSpec StormyChaosCampaign(uint64_t seed);
 
 struct ChaosReport {
   ElasticTrace trace;

@@ -60,6 +60,14 @@ void SpotMarket::Start() {
   engine_->Schedule(tick_interval_, [this] { Tick(); });
 }
 
+void SpotMarket::AddGrantObserver(GrantObserver observer) {
+  grant_observers_.push_back(std::move(observer));
+}
+
+void SpotMarket::AddPreemptObserver(PreemptObserver observer) {
+  preempt_observers_.push_back(std::move(observer));
+}
+
 int SpotMarket::GrantedVms(int pool) const { return pools_.at(static_cast<size_t>(pool)).granted; }
 
 int SpotMarket::GrantedGpus(int pool) const {
@@ -70,6 +78,14 @@ int SpotMarket::GrantedGpus(int pool) const {
 int SpotMarket::Capacity(int pool) const {
   const Pool& p = pools_.at(static_cast<size_t>(pool));
   return static_cast<int>(std::lround(p.availability * p.max_vms));
+}
+
+int SpotMarket::PoolMaxVms(int pool) const {
+  return pools_.at(static_cast<size_t>(pool)).max_vms;
+}
+
+const SpotPoolDynamics& SpotMarket::PoolDynamics(int pool) const {
+  return pools_.at(static_cast<size_t>(pool)).dynamics;
 }
 
 void SpotMarket::PreemptOne(int pool) {
@@ -88,6 +104,9 @@ void SpotMarket::PreemptOne(int pool) {
   const MarketVmId id = granted_[victim].id;
   granted_.erase(granted_.begin() + static_cast<long>(victim));
   --pools_[static_cast<size_t>(pool)].granted;
+  for (const PreemptObserver& observer : preempt_observers_) {
+    observer(pool, id);
+  }
   if (on_preempt_) {
     on_preempt_(id);
   }
@@ -131,6 +150,9 @@ void SpotMarket::Tick() {
       const MarketVmId id = next_vm_id_++;
       granted_.push_back(GrantedVm{id, static_cast<int>(pool_index)});
       ++pool.granted;
+      for (const GrantObserver& observer : grant_observers_) {
+        observer(static_cast<int>(pool_index), id, pool.type);
+      }
       if (on_grant_) {
         on_grant_(id, pool.type);
       }

@@ -73,6 +73,15 @@ class SpotMarket {
   void set_grant_handler(GrantHandler handler) { on_grant_ = std::move(handler); }
   void set_preempt_handler(PreemptHandler handler) { on_preempt_ = std::move(handler); }
 
+  // Passive observers of the grant/preemption stream (estimators, loggers):
+  // fired in registration order *before* the single control handler, for
+  // every pool. Unlike the handlers they cannot be replaced — observing the
+  // market must not steal the manager's control path.
+  using GrantObserver = std::function<void(int pool, MarketVmId, const VmType&)>;
+  using PreemptObserver = std::function<void(int pool, MarketVmId)>;
+  void AddGrantObserver(GrantObserver observer);
+  void AddPreemptObserver(PreemptObserver observer);
+
   // Starts the tick loop. Must be called once before running the engine.
   void Start();
 
@@ -80,6 +89,11 @@ class SpotMarket {
   int GrantedGpus(int pool) const;
   // Current obtainable capacity (VM count) of the pool.
   int Capacity(int pool) const;
+  int PoolMaxVms(int pool) const;
+  // The pool's true stochastic parameters. For the oracle-mode availability
+  // predictor and diagnostics only — online policy code must *learn* from the
+  // observed stream instead (the liveput predictor contract, DESIGN.md §4).
+  const SpotPoolDynamics& PoolDynamics(int pool) const;
 
  private:
   struct GrantedVm {
@@ -106,6 +120,8 @@ class SpotMarket {
   MarketVmId next_vm_id_ = 0;
   GrantHandler on_grant_;
   PreemptHandler on_preempt_;
+  std::vector<GrantObserver> grant_observers_;
+  std::vector<PreemptObserver> preempt_observers_;
   bool started_ = false;
 };
 

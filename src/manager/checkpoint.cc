@@ -87,6 +87,13 @@ int64_t CheckpointStore::LatestUsable() const {
   return -1;
 }
 
+double CheckpointStore::CheckpointStallEstimate(double total_params,
+                                                int data_parallel) const {
+  const double shard_bytes =
+      kCheckpointBytesPerParam * total_params / std::max(1, data_parallel);
+  return shard_bytes / options_.ssd_write_bps;
+}
+
 double CheckpointStore::RestoreDuration(double total_params, int data_parallel) const {
   const double total_bytes = kCheckpointBytesPerParam * total_params;
   const double shard_bytes = total_bytes / std::max(1, data_parallel);

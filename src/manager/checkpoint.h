@@ -89,6 +89,11 @@ class CheckpointStore {
   // Time to restore the given checkpoint onto a new configuration.
   double RestoreDuration(double total_params, int data_parallel) const;
 
+  // Foreground stall a BeginCheckpoint of this shape *would* cost (one shard
+  // over local SSD) — the liveput policy's pre-migration cost model compares
+  // it against the expected rollback work before committing to a checkpoint.
+  double CheckpointStallEstimate(double total_params, int data_parallel) const;
+
   // Marks every not-yet-flushed shard owned by `vm` as lost (the local copy
   // died with the VM). Idempotent; called from the cluster's preemption
   // observer for announced *and* unannounced VM deaths.

@@ -23,15 +23,41 @@ ElasticTrainer::ElasticTrainer(SimEngine* engine, Cluster* cluster, SpotMarket* 
       executor_(cluster, &rng_),
       graph_(BuildTransformerOpGraph(spec)),
       sections_(IdentifyCutPoints(graph_, spec.num_layers).value()),
-      checkpoints_(engine, options.checkpoint) {
+      checkpoints_(engine, options.checkpoint),
+      predictor_(options.predictor) {
   const TraceReport trace = TraceCrossPartitionState(graph_, sections_, TraceOptions());
   shared_sync_bytes_ = trace.TotalSyncBytes();
   if (options_.budget.gpu_memory_bytes <= 0.0) {
     options_.budget.gpu_memory_bytes = vm_type.gpu.memory_bytes;
   }
+  predictor_.SetDemandHint(options_.demand_vms);
+  if (options_.morph_policy == MorphPolicy::kOracleProactive) {
+    // Upper-bound mode: the predictor is handed the pool's true hazard (the
+    // one thing the online estimator has to learn) plus any storm forecasts
+    // the chaos scripts feed through ForecastStorm().
+    predictor_.EnableOracle(market_->PoolDynamics(market_pool_).preemption_hazard);
+  }
 }
 
 void ElasticTrainer::Start() {
+  // The availability estimator taps the market's announced grant/preemption
+  // stream through passive observers — it sees the whole pool, not just the
+  // placement, and never the market's hidden dynamics. Observers draw no
+  // randomness and schedule no events, so feeding the predictor leaves the
+  // reactive decision sequence bit-identical.
+  market_->AddGrantObserver(
+      [this](int pool, SpotMarket::MarketVmId /*id*/, const VmType& /*type*/) {
+        if (pool == market_pool_) {
+          predictor_.ObserveGrant(engine_->now());
+          stats_.predictor_updates = predictor_.updates();
+        }
+      });
+  market_->AddPreemptObserver([this](int pool, SpotMarket::MarketVmId /*id*/) {
+    if (pool == market_pool_) {
+      predictor_.ObservePreemption(engine_->now());
+      stats_.predictor_updates = predictor_.updates();
+    }
+  });
   market_->set_grant_handler(
       [this](SpotMarket::MarketVmId id, const VmType& type) { OnVmGranted(id, type); });
   market_->set_preempt_handler([this](SpotMarket::MarketVmId id) { OnVmPreempted(id); });
@@ -180,7 +206,110 @@ SearchConstraints ElasticTrainer::MakeConstraints(bool degraded) const {
   // smaller per-GPU footprint lets shallower pipelines fit when capacity has
   // collapsed below what the normal model can place.
   constraints.cpu_offload_optimizer = options_.cpu_offload_optimizer || degraded;
+  if (ProactiveEngaged()) {
+    // Fold the predictor state into the memo context (stale hits against an
+    // older predictor become structurally impossible), and sweep unpruned:
+    // bound pruning keeps only candidates that can win on *time*, which would
+    // hide the slow-but-small configs the liveput argmax may prefer.
+    constraints.predictor_fingerprint = predictor_.Fingerprint();
+    constraints.prune = false;
+  }
   return constraints;
+}
+
+int ElasticTrainer::PlacementVmsUsed() const {
+  if (!config_.has_value()) {
+    return 0;
+  }
+  const int gpus_per_vm = std::max(1, vm_type_.node.num_gpus);
+  return (config_->gpus_used + gpus_per_vm - 1) / gpus_per_vm;
+}
+
+double ElasticTrainer::RecoveryCostS() const {
+  double cost = 0.0;
+  if (config_.has_value()) {
+    cost += checkpoints_.RestoreDuration(spec_.TotalParams(), config_->data_parallel);
+  }
+  if (cached_minibatch_s_ > 0.0) {
+    cost += 0.5 * static_cast<double>(options_.checkpoint_every_minibatches) *
+            cached_minibatch_s_;
+  }
+  return cost;
+}
+
+Result<JobConfig> ElasticTrainer::ChooseConfig(int gpus, const SearchConstraints& constraints) {
+  if (!ProactiveEngaged()) {
+    return search_->Best(gpus, constraints);
+  }
+  const Result<std::vector<JobConfig>> sweep = search_->Sweep(gpus, constraints);
+  if (!sweep.ok()) {
+    return Result<JobConfig>::Error(sweep.error());
+  }
+  if (sweep.value().empty()) {
+    return Result<JobConfig>::Error("no feasible configuration");
+  }
+  const LiveputObjective objective(&predictor_, options_.liveput_horizon_s,
+                                   std::max(1, vm_type_.node.num_gpus), RecoveryCostS());
+  const JobConfig* liveput_best = objective.BestLiveput(sweep.value());
+  // Throughput argmax with the same tie-break (strict >, earliest (P, m)
+  // wins) — what Best() would have picked.
+  const JobConfig* throughput_best = &sweep.value().front();
+  for (const JobConfig& config : sweep.value()) {
+    if (config.est_examples_per_s > throughput_best->est_examples_per_s) {
+      throughput_best = &config;
+    }
+  }
+  if (!(*liveput_best == *throughput_best)) {
+    ++stats_.liveput_wins;
+  }
+  return *liveput_best;
+}
+
+bool ElasticTrainer::EvaluateProactiveMorph(int available_gpus) {
+  const Result<std::vector<JobConfig>> sweep =
+      search_->Sweep(available_gpus, MakeConstraints(degraded_));
+  SyncSearchStats();
+  if (!sweep.ok() || sweep.value().empty()) {
+    return false;
+  }
+  const LiveputObjective objective(&predictor_, options_.liveput_horizon_s,
+                                   std::max(1, vm_type_.node.num_gpus), RecoveryCostS());
+  const JobConfig* best = objective.BestLiveput(sweep.value());
+  if (best->pipeline_depth == config_->pipeline_depth &&
+      best->data_parallel == config_->data_parallel) {
+    return false;
+  }
+  // Score the incumbent with its *measured* rate (what we would actually keep
+  // earning) and the candidate with its estimate; both survival-weighted.
+  const double current_rate = config_->ActualBatch() / std::max(1e-9, cached_minibatch_s_);
+  const double current_score = objective.Score(
+      current_rate, predictor_.PlacementSurvival(PlacementVmsUsed(), options_.liveput_horizon_s));
+  const double best_score = objective.Score(*best);
+  if (best_score <= (1.0 + options_.liveput_gain_threshold) * current_score) {
+    return false;
+  }
+  // Cost model: the examples the liveput gain buys over the horizon must pay
+  // for the examples forgone during the pre-migration restore stall.
+  const double restore_s =
+      checkpoints_.RestoreDuration(spec_.TotalParams(), best->data_parallel);
+  if ((best_score - current_score) * options_.liveput_horizon_s <=
+      current_rate * restore_s) {
+    return false;
+  }
+  ++stats_.proactive_morphs;
+  running_ = false;
+  minibatch_in_flight_ = false;
+  ++epoch_;
+  stall_started_ = engine_->now();
+  Reconfigure("proactive-morph", /*lost_state=*/false);
+  return true;
+}
+
+void ElasticTrainer::ForecastStorm(double at_s, int vms) {
+  if (options_.morph_policy != MorphPolicy::kOracleProactive) {
+    return;  // The online predictor must learn from the observed stream.
+  }
+  predictor_.ForecastStorm(at_s, vms);
 }
 
 void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state) {
@@ -195,7 +324,7 @@ void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state)
   const bool was_degraded = degraded_;
 
   const auto attempt = [&](bool degraded) {
-    const Result<JobConfig> best = search_->Best(gpus, MakeConstraints(degraded));
+    const Result<JobConfig> best = ChooseConfig(gpus, MakeConstraints(degraded));
     SyncSearchStats();
     if (!best.ok()) {
       return false;
@@ -339,8 +468,36 @@ void ElasticTrainer::ScheduleNextMinibatch(double extra_delay) {
     duration = rng_.LogNormalMedian(duration, options_.minibatch_noise_sigma);
   }
   bool checkpointing = false;
-  if (stats_.minibatches_done - last_checkpointed_minibatch_ >=
-      options_.checkpoint_every_minibatches) {
+  bool checkpoint_due = stats_.minibatches_done - last_checkpointed_minibatch_ >=
+                        options_.checkpoint_every_minibatches;
+  bool premigration = false;
+  if (!checkpoint_due && ProactiveEngaged() &&
+      stats_.minibatches_done > last_checkpointed_minibatch_) {
+    // Pre-migration (liveput policy) under a marginal cost model. This
+    // decision recurs at every mini-batch boundary, so the comparison is
+    // "checkpoint now" vs "defer one mini-batch": deferring risks a hit
+    // *during the next mini-batch* destroying the uncovered tail plus that
+    // mini-batch; checkpointing costs one foreground stall. The restore
+    // stall is excluded on both sides — a hit pays it either way.
+    const int64_t uncovered = stats_.minibatches_done - last_checkpointed_minibatch_;
+    const double hit_probability =
+        1.0 - predictor_.PlacementSurvival(PlacementVmsUsed(), duration);
+    const double rework_s = static_cast<double>(uncovered + 1) * duration;
+    // A pre-migration resets the cadence clock, replacing the upcoming
+    // cadence checkpoint — so late in the window it is nearly free and only
+    // the brought-forward fraction of the stall is a real extra cost.
+    const int64_t cadence = std::max<int64_t>(1, options_.checkpoint_every_minibatches);
+    const double stall_s = checkpoints_.CheckpointStallEstimate(spec_.TotalParams(),
+                                                                config_->data_parallel) *
+                           static_cast<double>(cadence - std::min(uncovered, cadence)) /
+                           static_cast<double>(cadence);
+    if (predictor_.ElevatedRisk(duration) &&
+        hit_probability * rework_s > options_.premigrate_cost_ratio * stall_s) {
+      checkpoint_due = true;
+      premigration = true;
+    }
+  }
+  if (checkpoint_due) {
     // Each data-parallel replica's stage-0 VM owns that replica's shard; the
     // store needs the owners to demote shards when their VM dies mid-flush.
     std::vector<VmId> shard_owners;
@@ -353,6 +510,10 @@ void ElasticTrainer::ScheduleNextMinibatch(double extra_delay) {
     last_checkpointed_minibatch_ = stats_.minibatches_done;
     ++stats_.checkpoints;
     checkpointing = true;
+    if (premigration) {
+      stats_.premigrated_shards += config_->data_parallel;
+      stats_.premigrated_bytes += kCheckpointBytesPerParam * spec_.TotalParams();
+    }
   }
   minibatch_in_flight_ = true;
   RecordSample(config_->ActualBatch() / duration, checkpointing);
@@ -515,6 +676,10 @@ void ElasticTrainer::HandleHeartbeatTimeout(const std::vector<VmId>& dead) {
 
 void ElasticTrainer::ProvisionTick() {
   engine_->Schedule(options_.provision_check_interval_s, [this] { ProvisionTick(); });
+  // Exposure accrues between market events too (a quiet market is evidence of
+  // stability). Pure counter arithmetic: no draws, no events.
+  predictor_.ObserveQuiet(engine_->now());
+  stats_.predictor_updates = predictor_.updates();
   // Heal the blacklist: VMs recover from stutter episodes; give them another
   // chance if they are no longer slow. Entries for dead VMs are dropped too
   // (they can never be placed again), which keeps the list bounded, and muted
@@ -549,6 +714,15 @@ void ElasticTrainer::ProvisionTick() {
       return;
     }
   }
+  if (ProactiveEngaged()) {
+    // Proactive pass first: the predictor state moves even when capacity does
+    // not, so this reruns every tick. When it declines to morph, fall through
+    // to the ordinary growth gate — liveput must never *slow down* regrowth
+    // after a storm drains the placement.
+    if (EvaluateProactiveMorph(available)) {
+      return;
+    }
+  }
   // Growth: if spare capacity admits a materially better configuration,
   // checkpoint and morph into it. The sweep only reruns when availability
   // moved materially since the last evaluation.
@@ -557,7 +731,7 @@ void ElasticTrainer::ProvisionTick() {
     return;
   }
   last_growth_check_gpus_ = available;
-  const Result<JobConfig> best = search_->Best(available, MakeConstraints(degraded_));
+  const Result<JobConfig> best = ChooseConfig(available, MakeConstraints(degraded_));
   SyncSearchStats();
   if (!best.ok()) {
     return;

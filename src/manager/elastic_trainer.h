@@ -46,6 +46,7 @@
 #include "src/model/transformer.h"
 #include "src/morph/calibration.h"
 #include "src/morph/config_search.h"
+#include "src/morph/liveput.h"
 #include "src/pipeline/executor.h"
 #include "src/sim/engine.h"
 
@@ -88,6 +89,22 @@ struct TrainerOptions {
   // candidate configs). <= 1 keeps the sweep serial; pooled and serial
   // sweeps are bit-identical, so this never changes the training trace.
   int search_threads = 1;
+  // --- Liveput policy (src/morph/liveput.h). -------------------------------
+  // kReactive reproduces the paper's recover-after-preemption behavior
+  // exactly; the proactive modes add liveput-weighted config selection and
+  // risk-triggered pre-migration checkpoints on top, falling back to the
+  // reactive path bit-for-bit while the predictor is cold.
+  MorphPolicy morph_policy = MorphPolicy::kReactive;
+  // Horizon H the liveput objective scores survival over.
+  double liveput_horizon_s = 900.0;
+  PredictorOptions predictor;
+  // Pre-migration cost model: checkpoint early when the expected rollback
+  // re-work (hit probability before the cadence checkpoint × uncovered work
+  // seconds) exceeds this multiple of the checkpoint's own stall cost.
+  double premigrate_cost_ratio = 3.0;
+  // Proactive morphs need this relative liveput gain over the current config
+  // (and the projected gain must also pay for the restore stall).
+  double liveput_gain_threshold = 0.5;
   uint64_t seed = 1;
 };
 
@@ -183,6 +200,22 @@ struct SessionStats {
   uint64_t sim_window_syncs = 0;          // observability: window barriers.
   uint64_t sim_cross_shard_messages = 0;  // observability: mailbox parcels.
   double sim_shard_imbalance = 0.0;       // observability: max/mean shard load.
+  // --- Liveput policy counters (src/morph/liveput.h). ----------------------
+  // fingerprint: morphs initiated by the liveput objective ahead of any
+  // preemption — part of the replayed decision sequence.
+  int proactive_morphs = 0;
+  // fingerprint: checkpoint shards written early by the pre-migration
+  // trigger (expected rollback re-work exceeded the checkpoint stall cost).
+  int64_t premigrated_shards = 0;
+  // observability: bytes moved by pre-migration checkpoints — derivable from
+  // premigrated_shards and the model size.
+  double premigrated_bytes = 0.0;
+  // observability: predictor observation count; pure instrumentation.
+  int64_t predictor_updates = 0;
+  // observability: searches where the liveput argmax differed from the
+  // throughput argmax. Advisory — horizon/threshold tuning may change it
+  // without invalidating recorded traces.
+  int64_t liveput_wins = 0;
   std::vector<TimelineEvent> events;      // fingerprint: the event timeline.
   std::vector<TimelineSample> samples;    // fingerprint: throughput samples.
 };
@@ -216,6 +249,12 @@ class ElasticTrainer {
   // land mid-morph preemptions inside the restore window.
   using MorphObserver = std::function<void(const std::string& kind, double restore_delay_s)>;
   void set_morph_observer(MorphObserver observer) { morph_observer_ = std::move(observer); }
+
+  // Oracle storm forecast (src/chaos feeds scripted storms through this).
+  // No-op unless the policy is kOracleProactive: the online predictor must
+  // learn from the observed stream alone.
+  void ForecastStorm(double at_s, int vms);
+  const AvailabilityPredictor& predictor() const { return predictor_; }
 
   // Aborts via VARUNA_CHECK if the manager state or the conservation ledger
   // is inconsistent. O(session) on the stats vectors — call from tests and
@@ -253,6 +292,25 @@ class ElasticTrainer {
   // True while `vm`'s heartbeats are muted by chaos.
   bool HeartbeatsMuted(VmId vm) const;
   SearchConstraints MakeConstraints(bool degraded) const;
+  // The liveput policy is live: proactive mode requested AND the predictor
+  // has warmed past its gates. Everywhere this is false — reactive policy,
+  // cold predictor, stable market — the manager's decision sequence is
+  // bit-identical to the reactive path (property-tested).
+  bool ProactiveEngaged() const {
+    return options_.morph_policy != MorphPolicy::kReactive && !predictor_.Cold();
+  }
+  // Config selection: throughput argmax (Best) reactively, liveput argmax
+  // over the sweep when the proactive policy is engaged.
+  Result<JobConfig> ChooseConfig(int gpus, const SearchConstraints& constraints);
+  // Proactive morph evaluation on the provision tick: morph when the liveput
+  // argmax materially beats the current config and the projected gain over
+  // the horizon pays for the restore stall. Returns true if it morphed.
+  bool EvaluateProactiveMorph(int available_gpus);
+  int PlacementVmsUsed() const;
+  // What one placement hit costs right now: expected rollback re-work (half
+  // the checkpoint cadence at the measured rate) plus the restore stall. The
+  // liveput objective amortizes survival risk by this, not the whole horizon.
+  double RecoveryCostS() const;
   // Offload applies when the user asked for it or degraded mode forces it.
   bool OffloadActive() const { return options_.cpu_offload_optimizer || degraded_; }
 
@@ -286,6 +344,9 @@ class ElasticTrainer {
   std::unique_ptr<ThreadPool> search_pool_;
   std::unique_ptr<ConfigSearch> search_;
   CheckpointStore checkpoints_;
+  // Availability estimator for the liveput policy. Always fed (cheap counts,
+  // no Rng draws, no engine events), only *consulted* when engaged.
+  AvailabilityPredictor predictor_;
 
   std::map<SpotMarket::MarketVmId, VmId> market_to_vm_;
   std::vector<GpuId> blacklist_;

@@ -212,6 +212,7 @@ uint64_t ConfigSearch::ContextFingerprint(const SearchConstraints& constraints) 
   mix(constraints.cpu_offload_optimizer ? 1 : 0);
   mix_double(constraints.microbatch_tolerance);
   mix(static_cast<uint64_t>(constraints.microbatch_candidates));
+  mix(constraints.predictor_fingerprint);
   // constraints.prune is deliberately excluded: pruning changes which
   // candidates get simulated, never what a simulation returns, so memoized
   // results stay exact across prune-mode flips.
@@ -230,7 +231,8 @@ ConfigSearch::SweepKey ConfigSearch::MakeSweepKey(int gpus,
                   constraints.cpu_offload_optimizer,
                   constraints.microbatch_tolerance,
                   constraints.microbatch_candidates,
-                  constraints.prune};
+                  constraints.prune,
+                  constraints.predictor_fingerprint};
 }
 
 Result<std::vector<JobConfig>> ConfigSearch::Sweep(int gpus,

@@ -92,6 +92,13 @@ struct SearchConstraints {
   // winner — and Best() — are bit-identical with or without pruning; only
   // Sweep()'s returned list thins. Disable for exhaustive diagnostics.
   bool prune = true;
+  // AvailabilityPredictor fingerprint (src/morph/liveput.h), folded in by the
+  // liveput policy; 0 when reactive or cold. Part of the memo context: any
+  // predictor learning step rotates the candidate memo and the sweep key, so
+  // a liveput rescoring can never reuse results cached under an older
+  // predictor state (conservative, like the budget field — simulated times do
+  // not depend on it, but stale-hit bugs stay structurally impossible).
+  uint64_t predictor_fingerprint = 0;
 };
 
 // Cumulative cache/workload counters (monotone; snapshot and subtract to
@@ -209,7 +216,7 @@ class ConfigSearch {
   // (G, calibration fingerprint, every constraint field): the complete input
   // of Sweep. An empty cached vector records an infeasible sweep.
   using SweepKey = std::tuple<int, uint64_t, double, double, double, int, double, bool,
-                              double, int, bool>;
+                              double, int, bool, uint64_t>;
   SweepKey MakeSweepKey(int gpus, const SearchConstraints& constraints) const;
 
   const TransformerSpec* spec_;

@@ -1,0 +1,238 @@
+#include "src/morph/liveput.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace varuna {
+
+void AvailabilityPredictor::EnableOracle(double true_hazard_per_s) {
+  VARUNA_CHECK_GE(true_hazard_per_s, 0.0);
+  oracle_ = true;
+  oracle_hazard_per_s_ = true_hazard_per_s;
+}
+
+void AvailabilityPredictor::Advance(double now_s) {
+  if (!have_now_) {
+    have_now_ = true;
+    last_now_s_ = now_s;
+    return;
+  }
+  VARUNA_CHECK_GE(now_s, last_now_s_);
+  const double dt = now_s - last_now_s_;
+  if (dt > 0.0) {
+    if (options_.decay_tau_s > 0.0) {
+      const double keep = std::exp(-dt / options_.decay_tau_s);
+      decayed_up_exposure_ *= keep;
+      decayed_down_exposure_ *= keep;
+      decayed_preemptions_ *= keep;
+      decayed_grants_ *= keep;
+    }
+    const double windows = dt / options_.window_s;
+    const double up_windows = static_cast<double>(up_) * windows;
+    const double down_windows =
+        static_cast<double>(std::max(0, demand_hint_ - up_)) * windows;
+    up_exposure_windows_ += up_windows;
+    down_exposure_windows_ += down_windows;
+    decayed_up_exposure_ += up_windows;
+    decayed_down_exposure_ += down_windows;
+    last_now_s_ = now_s;
+  }
+  // Storms that already fired are history, not forecast.
+  while (!forecasts_.empty() && forecasts_.front().first <= now_s) {
+    forecasts_.erase(forecasts_.begin());
+  }
+}
+
+void AvailabilityPredictor::ObserveGrant(double now_s) {
+  Advance(now_s);
+  ++up_;
+  ++grants_;
+  decayed_grants_ += 1.0;
+  ++updates_;
+}
+
+void AvailabilityPredictor::ObservePreemption(double now_s) {
+  Advance(now_s);
+  up_ = std::max(0, up_ - 1);
+  ++preemptions_;
+  decayed_preemptions_ += 1.0;
+  ++updates_;
+}
+
+void AvailabilityPredictor::ObserveQuiet(double now_s) {
+  Advance(now_s);
+  ++updates_;
+}
+
+void AvailabilityPredictor::SetDemandHint(int vms) {
+  VARUNA_CHECK_GE(vms, 0);
+  demand_hint_ = vms;
+}
+
+void AvailabilityPredictor::ForecastStorm(double at_s, int vms) {
+  VARUNA_CHECK_GE(vms, 0);
+  if (vms == 0) {
+    return;
+  }
+  const auto it = std::lower_bound(
+      forecasts_.begin(), forecasts_.end(), at_s,
+      [](const std::pair<double, int>& entry, double t) { return entry.first < t; });
+  forecasts_.insert(it, {at_s, vms});
+}
+
+bool AvailabilityPredictor::Cold() const {
+  if (oracle_) {
+    return false;
+  }
+  return preemptions_ < options_.min_preemption_events ||
+         up_exposure_windows_ < options_.min_exposure_windows;
+}
+
+bool AvailabilityPredictor::ElevatedRisk(double window_s) const {
+  if (oracle_) {
+    // The oracle's hit probabilities are exact (true hazard + scripted storm
+    // forecasts), so the cost model needs no noise gate in front of it.
+    return true;
+  }
+  (void)window_s;
+  if (options_.decay_tau_s <= 0.0) {
+    return true;  // No recency signal: defer to the cost model alone.
+  }
+  return decayed_preemptions_ >= options_.storm_gate_kills;
+}
+
+double AvailabilityPredictor::PreemptProbabilityPerWindow() const {
+  const double alpha = options_.laplace_alpha;
+  return (decayed_preemptions_ + alpha) / (decayed_up_exposure_ + 2.0 * alpha);
+}
+
+double AvailabilityPredictor::RestoreProbabilityPerWindow() const {
+  const double alpha = options_.laplace_alpha;
+  return (decayed_grants_ + alpha) / (decayed_down_exposure_ + 2.0 * alpha);
+}
+
+double AvailabilityPredictor::ForecastKills(double horizon_s) const {
+  double kills = 0.0;
+  for (const auto& [at_s, vms] : forecasts_) {
+    if (at_s > last_now_s_ + horizon_s) {
+      break;  // Sorted: everything later is outside the horizon too.
+    }
+    kills += static_cast<double>(vms);
+  }
+  return kills;
+}
+
+double AvailabilityPredictor::NodeSurvival(double horizon_s) const {
+  if (horizon_s <= 0.0) {
+    return 1.0;
+  }
+  double survival = 0.0;
+  if (oracle_) {
+    survival = std::exp(-oracle_hazard_per_s_ * horizon_s);
+    const double kills = ForecastKills(horizon_s);
+    if (kills > 0.0) {
+      // Storms reclaim uniformly among granted VMs: a node dodges the storm
+      // with probability 1 - kills/up (clamped).
+      const double hit =
+          std::min(1.0, kills / static_cast<double>(std::max(1, up_)));
+      survival *= 1.0 - hit;
+    }
+    return survival;
+  }
+  const double p = std::clamp(PreemptProbabilityPerWindow(), 0.0, 1.0);
+  return std::pow(1.0 - p, horizon_s / options_.window_s);
+}
+
+double AvailabilityPredictor::PlacementSurvival(int vms_used, double horizon_s) const {
+  VARUNA_CHECK_GE(vms_used, 0);
+  if (vms_used == 0) {
+    return 1.0;
+  }
+  return std::pow(NodeSurvival(horizon_s), static_cast<double>(vms_used));
+}
+
+uint64_t AvailabilityPredictor::Fingerprint() const {
+  uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffULL;
+      hash *= 1099511628211ULL;
+    }
+  };
+  const auto mix_double = [&mix](double value) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix(oracle_ ? 1 : 0);
+  mix_double(oracle_hazard_per_s_);
+  mix(static_cast<uint64_t>(preemptions_));
+  mix(static_cast<uint64_t>(grants_));
+  // Quantized at window granularity: quiet accrual inside one window keeps
+  // the fingerprint (and therefore the candidate-memo context) stable.
+  mix(static_cast<uint64_t>(std::floor(up_exposure_windows_)));
+  mix(static_cast<uint64_t>(std::floor(down_exposure_windows_)));
+  // The decayed shadows drive the estimates, so they are covered too —
+  // quarter-count / whole-window resolution bounds how often pure decay
+  // rotates the memo context (conservative: a rotation only costs misses).
+  mix(static_cast<uint64_t>(std::llround(decayed_preemptions_ * 4.0)));
+  mix(static_cast<uint64_t>(std::llround(decayed_grants_ * 4.0)));
+  mix(static_cast<uint64_t>(std::floor(decayed_up_exposure_)));
+  mix(static_cast<uint64_t>(std::floor(decayed_down_exposure_)));
+  mix_double(options_.decay_tau_s);
+  mix_double(options_.storm_gate_kills);
+  mix(static_cast<uint64_t>(up_));
+  mix(static_cast<uint64_t>(demand_hint_));
+  mix(forecasts_.size());
+  for (const auto& [at_s, vms] : forecasts_) {
+    mix_double(at_s);
+    mix(static_cast<uint64_t>(vms));
+  }
+  mix_double(options_.window_s);
+  mix_double(options_.laplace_alpha);
+  return hash;
+}
+
+int LiveputObjective::VmsUsed(const JobConfig& config) const {
+  VARUNA_CHECK_GT(gpus_per_vm_, 0);
+  return (config.gpus_used + gpus_per_vm_ - 1) / gpus_per_vm_;
+}
+
+double LiveputObjective::PlacementSurvival(const JobConfig& config) const {
+  return predictor_->PlacementSurvival(VmsUsed(config), horizon_s_);
+}
+
+double LiveputObjective::Score(double est_examples_per_s,
+                               double placement_survival) const {
+  // Fraction of the horizon one placement hit actually forfeits. Negative
+  // recovery cost (the default) means a hit forfeits everything — the pure
+  // liveput product.
+  double loss_fraction = 1.0;
+  if (recovery_cost_s_ >= 0.0 && horizon_s_ > 0.0) {
+    loss_fraction = std::min(1.0, recovery_cost_s_ / horizon_s_);
+  }
+  return est_examples_per_s * (1.0 - (1.0 - placement_survival) * loss_fraction);
+}
+
+double LiveputObjective::Score(const JobConfig& config) const {
+  return Score(config.est_examples_per_s, PlacementSurvival(config));
+}
+
+const JobConfig* LiveputObjective::BestLiveput(const std::vector<JobConfig>& sweep) const {
+  const JobConfig* best = nullptr;
+  double best_score = 0.0;
+  for (const JobConfig& config : sweep) {
+    const double score = Score(config);
+    if (best == nullptr || score > best_score) {
+      best = &config;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace varuna

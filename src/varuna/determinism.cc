@@ -76,6 +76,8 @@ uint64_t ElasticTrace::Fingerprint() const {
   fnv.U64(static_cast<uint64_t>(minibatches_rolled_back));
   fnv.F64(examples_rolled_back);
   fnv.U64(static_cast<uint64_t>(last_restore_step));
+  fnv.U64(static_cast<uint64_t>(proactive_morphs));
+  fnv.U64(static_cast<uint64_t>(premigrated_shards));
   fnv.U64(event_times_s.size());
   for (const double t : event_times_s) {
     fnv.F64(t);
@@ -113,6 +115,8 @@ ElasticTrace CaptureElasticTrace(const SimEngine& engine, const ElasticTrainer& 
   trace.minibatches_rolled_back = stats.minibatches_rolled_back;
   trace.examples_rolled_back = stats.examples_rolled_back;
   trace.last_restore_step = stats.last_restore_step;
+  trace.proactive_morphs = stats.proactive_morphs;
+  trace.premigrated_shards = stats.premigrated_shards;
   for (const TimelineEvent& event : stats.events) {
     trace.event_times_s.push_back(event.time_s);
     trace.event_kinds.push_back(event.kind);

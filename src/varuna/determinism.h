@@ -60,6 +60,10 @@ struct ElasticTrace {
   int64_t minibatches_rolled_back = 0;
   double examples_rolled_back = 0.0;
   int64_t last_restore_step = -1;
+  // Liveput-policy decisions (src/morph/liveput.h): reactive runs leave them
+  // zero, proactive runs replay them bit-identically like everything else.
+  int proactive_morphs = 0;
+  int64_t premigrated_shards = 0;
   // (time_s, kind) for every manager timeline event, in order.
   std::vector<double> event_times_s;
   std::vector<std::string> event_kinds;

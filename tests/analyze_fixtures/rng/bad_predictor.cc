@@ -1,0 +1,32 @@
+// Fixture (never compiled): a liveput availability predictor that cheats.
+// The predictor contract (src/morph/liveput.h) is that its state is a pure
+// function of the observation stream — policy code draws no randomness, or
+// replay stops being bit-identical. Each defect below is one way a "smarter"
+// predictor might sneak a draw in.
+#include "src/common/rng.h"
+
+namespace varuna {
+
+class JitteredPredictor {
+ public:
+  // Tie-breaking candidate configs with a by-value Rng: the caller's stream
+  // never advances, so the "random" tie-break replays elsewhere.
+  int BreakTie(Rng rng, int a, int b) {
+    return rng.NextDouble() < 0.5 ? a : b;  // finding: rng-value-param
+  }
+
+  // Dithering the survival estimate on an unnamed temporary: the stream
+  // exists for one expression, seeded off wall-clock-ish state.
+  double DitheredSurvival(double base, uint64_t salt) {
+    return base * (1.0 - 0.01 * Rng(salt).NextDouble());  // finding: rng-temp
+  }
+
+  // Stashing a duplicate of the session stream for "exploration" silently
+  // forks it — both copies replay the same draws.
+  void Explore(Rng* session_rng) {
+    Rng exploration = *session_rng;  // finding: rng-copy
+    (void)exploration;
+  }
+};
+
+}  // namespace varuna

@@ -1,0 +1,44 @@
+// Fixture (never compiled): the disciplined counterpart of
+// bad_predictor.cc — an availability predictor whose state is a pure
+// function of the observation stream. Zero findings expected: the only Rng
+// mentions are the documentation traps a line-oriented linter trips on.
+#include "src/common/rng.h"
+
+#include <cstdint>
+
+namespace varuna {
+
+// The contract, stated in hazard-shaped *text*:
+//   Rng jitter = *session_rng;   // this would be an rng-copy finding
+const char* kContract = R"doc(
+  Policy code draws no randomness: Rng(now).NextDouble() is forbidden.
+)doc";
+
+class ObservationPredictor {
+ public:
+  void ObserveGrant(double now_s) {
+    ++grants_;
+    last_now_s_ = now_s;
+  }
+  void ObservePreemption(double now_s) {
+    ++preemptions_;
+    last_now_s_ = now_s;
+  }
+  // Laplace-smoothed transition estimate: deterministic in the counts.
+  double PreemptProbability() const {
+    return (static_cast<double>(preemptions_) + 1.0) /
+           (static_cast<double>(preemptions_ + grants_) + 2.0);
+  }
+
+ private:
+  int64_t grants_ = 0;
+  int64_t preemptions_ = 0;
+  double last_now_s_ = 0.0;
+};
+
+// Seeding a *fresh* stream from an integer seed is fine (construction, not
+// duplication), as is handing a stream over by pointer.
+double DrawOnce(Rng* rng) { return rng->NextDouble(); }
+Rng MakeStream(uint64_t seed) { return Rng(seed); }
+
+}  // namespace varuna

@@ -231,6 +231,23 @@ TEST(RngDiscipline, RawStringsCommentsAndSinksStayClean) {
   EXPECT_TRUE(findings.empty()) << Dump(findings);
 }
 
+// The liveput predictor contract (src/morph/liveput.h): policy code draws no
+// randomness. The seeded-defect fixture shows one instance of each way a
+// predictor might sneak a draw in; its disciplined counterpart (pure
+// function of the observation stream) must stay clean.
+TEST(RngDiscipline, JitteredPredictorPolicyDrawsAreFlagged) {
+  const std::vector<Finding> findings = RngFindings("bad_predictor.cc");
+  EXPECT_EQ(CountRule(findings, "rng-value-param"), 1) << Dump(findings);
+  EXPECT_EQ(CountRule(findings, "rng-temp"), 1) << Dump(findings);
+  EXPECT_EQ(CountRule(findings, "rng-copy"), 1) << Dump(findings);
+  EXPECT_EQ(findings.size(), 3u) << Dump(findings);
+}
+
+TEST(RngDiscipline, ObservationDrivenPredictorIsClean) {
+  const std::vector<Finding> findings = RngFindings("clean_predictor.cc");
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
 // --- Pass 3: fingerprint coverage -------------------------------------------
 
 TEST(FingerprintCoverage, BadPairYieldsEveryDefectClass) {

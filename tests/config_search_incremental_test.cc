@@ -22,6 +22,7 @@
 #include "src/model/op_graph.h"
 #include "src/morph/calibration.h"
 #include "src/morph/config_search.h"
+#include "src/morph/liveput.h"
 
 namespace varuna {
 namespace {
@@ -231,6 +232,47 @@ TEST(ConfigSearchIncrementalTest, TotalBatchChangeForcesResimulation) {
   ExpectFullResimulation([](Fixture*, SearchConstraints* constraints) {
     constraints->total_batch = 1200;
   });
+}
+
+TEST(ConfigSearchIncrementalTest, PredictorLearningStepForcesResimulation) {
+  // A liveput predictor learning step (src/morph/liveput.h) rotates its
+  // fingerprint; the memo context must rotate with it, so a liveput decision
+  // can never be served a candidate memoized under an older predictor state.
+  ExpectFullResimulation([](Fixture*, SearchConstraints* constraints) {
+    AvailabilityPredictor predictor;
+    const uint64_t cold = predictor.Fingerprint();
+    predictor.ObserveGrant(10.0);
+    predictor.ObservePreemption(200.0);
+    ASSERT_NE(predictor.Fingerprint(), cold);
+    constraints->predictor_fingerprint = predictor.Fingerprint();
+  });
+}
+
+// Positive control: an *unchanged* predictor fingerprint is part of a stable
+// memo context — the repeat sweep is served from the sweep cache (zero new
+// simulations) and its candidates are bit-identical (operator==, doubles
+// included).
+TEST(ConfigSearchIncrementalTest, UnchangedPredictorFingerprintReusesBitIdentically) {
+  Fixture fx;
+  SearchConstraints constraints = DefaultConstraints();
+  constraints.prune = false;
+  AvailabilityPredictor predictor;
+  predictor.ObservePreemption(60.0);
+  constraints.predictor_fingerprint = predictor.Fingerprint();
+  ConfigSearch search(&fx.spec, &fx.sections, &fx.calibration);
+  const auto first = search.Sweep(36, constraints);
+  ASSERT_TRUE(first.ok());
+  const ConfigSearchStats before = search.stats();
+  ASSERT_GT(before.candidates_simulated, 0u);
+  const auto second = search.Sweep(36, constraints);
+  ASSERT_TRUE(second.ok());
+  const ConfigSearchStats after = search.stats();
+  EXPECT_EQ(after.candidates_simulated, before.candidates_simulated);
+  EXPECT_GT(after.sweep_cache_hits, before.sweep_cache_hits);
+  ASSERT_EQ(first.value().size(), second.value().size());
+  for (size_t i = 0; i < first.value().size(); ++i) {
+    EXPECT_TRUE(first.value()[i] == second.value()[i]) << "candidate " << i;
+  }
 }
 
 // Positive control: with nothing mutated, a new G reuses candidates instead
