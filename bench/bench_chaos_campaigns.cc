@@ -7,14 +7,19 @@
 // smoke beyond the unit-test battery: `--campaigns 200` is the CI setting.
 //
 //   bench_chaos_campaigns [--campaigns N] [--smoke] [--json PATH]
-//                         [--policy reactive|proactive|oracle]
+//                         [--policy reactive|proactive|oracle] [--fast-recovery]
 //
 // `--campaigns=N` is accepted too. `--smoke` clamps the sweep to 8 campaigns
 // and the head-to-head to 4 seeds. `--policy` selects the morph policy for
 // the random-campaign sweep (the head-to-head always runs all three).
+// `--fast-recovery` turns on the delta-checkpoint + locality-aware-restore +
+// live-handoff recovery path for the random sweep; the dedicated recovery
+// before/after section always runs both variants on identical seeds.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/legacy_sim_engine.h"
@@ -82,7 +87,92 @@ struct PolicyAggregate {
   int64_t proactive_morphs = 0;
   int64_t premigrated_shards = 0;
   double premigrated_bytes = 0.0;
+  int64_t live_handoffs = 0;
+  double handoff_bytes = 0.0;
+  double stalled_s = 0.0;
 };
+
+// Total modelled restore seconds a session spent, across every pricing tier.
+double RestoreSeconds(const SessionStats& stats) {
+  return stats.restore_setup_s + stats.restore_ssd_s + stats.restore_peer_s +
+         stats.restore_cloud_s;
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+// Recovery-path before/after: the same seeded storm campaigns (reactive
+// policy) with the legacy restore path and with the fast recovery path.
+// Identical fault schedules per seed, so the downtime delta isolates the
+// delta-chain + locality + handoff machinery. Medians are per campaign.
+struct RecoveryComparison {
+  double before_median_downtime_s = 0.0;
+  double after_median_downtime_s = 0.0;
+  double before_restore_s = 0.0;  // summed over campaigns
+  double after_restore_s = 0.0;
+  int64_t after_live_handoffs = 0;
+  int64_t after_delta_checkpoints = 0;
+  int64_t after_records_pruned = 0;
+};
+
+RecoveryComparison RecoveryBeforeAfter(int seeds) {
+  std::printf("=== Recovery path before/after: %d storm campaigns, reactive policy ===\n\n",
+              seeds);
+  RecoveryComparison cmp;
+  std::vector<double> before_downtime;
+  std::vector<double> after_downtime;
+  before_downtime.reserve(static_cast<size_t>(seeds));
+  after_downtime.reserve(static_cast<size_t>(seeds));
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const ChaosCampaignSpec before_spec = StormyChaosCampaign(static_cast<uint64_t>(seed));
+    const ChaosCampaignSpec after_spec =
+        FastRecoveryStormCampaign(static_cast<uint64_t>(seed));
+    const ChaosReport before = RunChaosCampaign(before_spec);
+    const ChaosReport after = RunChaosCampaign(after_spec);
+    // Replay assertion on a sample of seeds: the fast recovery path must stay
+    // bit-replayable before its downtime numbers are trusted.
+    if (seed % 4 == 1) {
+      const ChaosReport replay = RunChaosCampaign(after_spec);
+      if (replay.fingerprint != after.fingerprint || !(replay.trace == after.trace)) {
+        std::fprintf(stderr, "FATAL: fast-recovery seed %d replay diverged\n", seed);
+        std::exit(1);
+      }
+    }
+    before_downtime.push_back(before.stats.stalled_s);
+    after_downtime.push_back(after.stats.stalled_s);
+    cmp.before_restore_s += RestoreSeconds(before.stats);
+    cmp.after_restore_s += RestoreSeconds(after.stats);
+    cmp.after_live_handoffs += after.stats.live_handoffs;
+    cmp.after_delta_checkpoints += after.stats.delta_checkpoints;
+    cmp.after_records_pruned += after.stats.checkpoint_records_pruned;
+  }
+  cmp.before_median_downtime_s = Median(before_downtime);
+  cmp.after_median_downtime_s = Median(after_downtime);
+  Table table({"recovery path", "median downtime s", "restore s (sum)", "live handoffs",
+               "delta ckpts", "records pruned"});
+  table.AddRow({"legacy (full ckpt, cloud restore)", Table::Num(cmp.before_median_downtime_s, 1),
+                Table::Num(cmp.before_restore_s, 1), "0", "0", "0"});
+  table.AddRow({"fast (delta+locality+handoff)", Table::Num(cmp.after_median_downtime_s, 1),
+                Table::Num(cmp.after_restore_s, 1), std::to_string(cmp.after_live_handoffs),
+                std::to_string(cmp.after_delta_checkpoints),
+                std::to_string(cmp.after_records_pruned)});
+  std::printf("%s\n", table.Render().c_str());
+  const double reduction =
+      cmp.before_median_downtime_s > 0.0
+          ? 100.0 * (1.0 - cmp.after_median_downtime_s / cmp.before_median_downtime_s)
+          : 0.0;
+  std::printf("median downtime: %.1f s -> %.1f s (%.1f%% reduction, %s)\n\n",
+              cmp.before_median_downtime_s, cmp.after_median_downtime_s, reduction,
+              cmp.after_median_downtime_s <= cmp.before_median_downtime_s ? "fast path wins"
+                                                                          : "NO WIN");
+  return cmp;
+}
 
 // Runs the same seeded storm campaigns under all three morph policies and
 // proves bit-identical replay of each policy before reporting. This is the
@@ -91,11 +181,13 @@ struct PolicyAggregate {
 void HeadToHead(int seeds, bool* proactive_beats_reactive, PolicyAggregate* out_aggs) {
   constexpr MorphPolicy kPolicies[] = {MorphPolicy::kReactive, MorphPolicy::kProactive,
                                        MorphPolicy::kOracleProactive};
-  std::printf("=== Head-to-head: %d storm campaigns x {reactive, proactive, oracle} ===\n\n",
-              seeds);
+  std::printf(
+      "=== Head-to-head: %d fast-recovery storm campaigns x {reactive, proactive, oracle} "
+      "===\n\n",
+      seeds);
   for (int seed = 1; seed <= seeds; ++seed) {
     for (int p = 0; p < 3; ++p) {
-      ChaosCampaignSpec spec = StormyChaosCampaign(static_cast<uint64_t>(seed));
+      ChaosCampaignSpec spec = FastRecoveryStormCampaign(static_cast<uint64_t>(seed));
       spec.options.morph_policy = kPolicies[p];
       const ChaosReport report = RunChaosCampaign(spec);
       // Replay assertion before any numbers are trusted: every policy mode
@@ -115,16 +207,20 @@ void HeadToHead(int seeds, bool* proactive_beats_reactive, PolicyAggregate* out_
       agg.proactive_morphs += report.stats.proactive_morphs;
       agg.premigrated_shards += report.stats.premigrated_shards;
       agg.premigrated_bytes += report.stats.premigrated_bytes;
+      agg.live_handoffs += report.stats.live_handoffs;
+      agg.handoff_bytes += report.stats.handoff_bytes;
+      agg.stalled_s += report.stats.stalled_s;
     }
   }
   Table table({"policy", "mini-batches", "rolled back", "restarts", "proactive morphs",
-               "pre-migrated shards", "pre-migrated GB"});
+               "pre-migrated shards", "live handoffs", "handoff GB", "stalled s"});
   for (int p = 0; p < 3; ++p) {
     const PolicyAggregate& agg = out_aggs[p];
     table.AddRow({PolicyName(kPolicies[p]), std::to_string(agg.minibatches),
                   std::to_string(agg.rolled_back), std::to_string(agg.restarts),
                   std::to_string(agg.proactive_morphs), std::to_string(agg.premigrated_shards),
-                  Table::Num(agg.premigrated_bytes / 1e9, 2)});
+                  std::to_string(agg.live_handoffs), Table::Num(agg.handoff_bytes / 1e9, 2),
+                  Table::Num(agg.stalled_s, 1)});
   }
   std::printf("%s\n", table.Render().c_str());
   *proactive_beats_reactive = out_aggs[1].minibatches >= out_aggs[0].minibatches &&
@@ -139,9 +235,11 @@ void Run(int argc, char** argv) {
   const BenchMode mode = ModeFromArgs(argc, argv);
   const int campaigns = CampaignsFromArgs(argc, argv, mode.smoke ? 8 : 200);
   const MorphPolicy policy = PolicyFromArgs(argc, argv);
+  const bool fast_recovery = FlagInArgs(argc, argv, "--fast-recovery");
 
-  std::printf("=== Chaos campaign sweep: %d seeded random campaigns (policy=%s) ===\n\n",
-              campaigns, PolicyName(policy));
+  std::printf(
+      "=== Chaos campaign sweep: %d seeded random campaigns (policy=%s, recovery=%s) ===\n\n",
+      campaigns, PolicyName(policy), fast_recovery ? "fast" : "legacy");
 
   int64_t actions = 0;
   int64_t preemptions = 0;
@@ -159,11 +257,22 @@ void Run(int argc, char** argv) {
   int64_t executor_events = 0;
   int64_t ring_cache_hits = 0;
   int64_t ring_cache_misses = 0;
+  double downtime_s = 0.0;
+  double restore_s = 0.0;
+  int64_t live_handoffs = 0;
+  int64_t delta_checkpoints = 0;
 
   const BenchStats wall = TimeIt(0, 1, [&] {
     for (int seed = 1; seed <= campaigns; ++seed) {
       ChaosCampaignSpec spec = RandomChaosCampaign(static_cast<uint64_t>(seed));
       spec.options.morph_policy = policy;
+      if (fast_recovery) {
+        // Mirror the FastRecoveryStormCampaign knobs onto the random plans.
+        spec.options.checkpoint.full_checkpoint_every = 4;
+        spec.options.checkpoint.delta_fraction = 0.25;
+        spec.options.checkpoint.locality_aware_restore = true;
+        spec.options.checkpoint.live_handoff = true;
+      }
       const ChaosReport report = RunChaosCampaign(spec);
       actions += static_cast<int64_t>(spec.plan.actions.size());
       preemptions += report.stats.preemptions_hit;
@@ -180,6 +289,10 @@ void Run(int argc, char** argv) {
       executor_events += static_cast<int64_t>(report.stats.executor_events);
       ring_cache_hits += static_cast<int64_t>(report.stats.net_ring_cache_hits);
       ring_cache_misses += static_cast<int64_t>(report.stats.net_ring_cache_misses);
+      downtime_s += report.stats.stalled_s;
+      restore_s += RestoreSeconds(report.stats);
+      live_handoffs += report.stats.live_handoffs;
+      delta_checkpoints += report.stats.delta_checkpoints;
       // Every 16th seed: replay the whole campaign and require bit-identity.
       if (seed % 16 == 1) {
         const ChaosReport replay = RunChaosCampaign(spec);
@@ -213,6 +326,12 @@ void Run(int argc, char** argv) {
   row("testbed sim events", executor_events);
   row("ring-cost cache hits", ring_cache_hits);
   row("ring-cost cache misses", ring_cache_misses);
+  row("live handoffs", live_handoffs);
+  row("delta checkpoints", delta_checkpoints);
+  table.AddRow({"downtime (stalled) s", Table::Num(downtime_s, 1),
+                Table::Num(downtime_s / n, 2)});
+  table.AddRow({"restore seconds (all tiers)", Table::Num(restore_s, 1),
+                Table::Num(restore_s / n, 2)});
   std::printf("%s\n", table.Render().c_str());
   std::printf("campaigns with forward progress: %lld / %d\n",
               static_cast<long long>(with_progress), campaigns);
@@ -236,6 +355,7 @@ void Run(int argc, char** argv) {
   });
   const int head_to_head_seeds =
       IntFromArgs(argc, argv, "--h2h", mode.smoke ? 4 : 20);
+  const RecoveryComparison recovery = RecoveryBeforeAfter(head_to_head_seeds);
   bool proactive_wins = false;
   PolicyAggregate policy_aggs[3];
   HeadToHead(head_to_head_seeds, &proactive_wins, policy_aggs);
@@ -268,6 +388,19 @@ void Run(int argc, char** argv) {
                    static_cast<double>(executor_events) / (wall.mean_ms / 1e3));
     json.AddScalar("ring_cache_hits", static_cast<double>(ring_cache_hits));
     json.AddScalar("ring_cache_misses", static_cast<double>(ring_cache_misses));
+    json.AddScalar("fast_recovery", fast_recovery ? 1.0 : 0.0);
+    json.AddScalar("downtime_s", downtime_s);
+    json.AddScalar("restore_seconds", restore_s);
+    json.AddScalar("live_handoffs", static_cast<double>(live_handoffs));
+    json.AddScalar("delta_checkpoints", static_cast<double>(delta_checkpoints));
+    json.AddScalar("recovery_before_median_downtime_s", recovery.before_median_downtime_s);
+    json.AddScalar("recovery_after_median_downtime_s", recovery.after_median_downtime_s);
+    json.AddScalar("recovery_before_restore_s", recovery.before_restore_s);
+    json.AddScalar("recovery_after_restore_s", recovery.after_restore_s);
+    json.AddScalar("recovery_after_live_handoffs",
+                   static_cast<double>(recovery.after_live_handoffs));
+    json.AddScalar("recovery_after_delta_checkpoints",
+                   static_cast<double>(recovery.after_delta_checkpoints));
     json.AddScalar("head_to_head_seeds", static_cast<double>(head_to_head_seeds));
     json.AddScalar("head_to_head_proactive_wins", proactive_wins ? 1.0 : 0.0);
     const char* policy_keys[3] = {"reactive", "proactive", "oracle"};
@@ -280,6 +413,9 @@ void Run(int argc, char** argv) {
                      static_cast<double>(policy_aggs[p].proactive_morphs));
       json.AddScalar(key + "_premigrated_shards",
                      static_cast<double>(policy_aggs[p].premigrated_shards));
+      json.AddScalar(key + "_live_handoffs",
+                     static_cast<double>(policy_aggs[p].live_handoffs));
+      json.AddScalar(key + "_stalled_s", policy_aggs[p].stalled_s);
     }
     json.AddResult("sweep", wall);
     json.AddResult("engine_storm_before", legacy_storm);

@@ -274,6 +274,19 @@ ChaosCampaignSpec StormyChaosCampaign(uint64_t seed) {
   return spec;
 }
 
+ChaosCampaignSpec FastRecoveryStormCampaign(uint64_t seed) {
+  ChaosCampaignSpec spec = StormyChaosCampaign(seed);
+  // Same storms, same seeds — only the recovery machinery differs: full
+  // snapshot every 4th cadence with ~25% deltas between, restores priced per
+  // shard from the cheapest live source, voluntary morphs hand state over
+  // peer-to-peer.
+  spec.options.checkpoint.full_checkpoint_every = 4;
+  spec.options.checkpoint.delta_fraction = 0.25;
+  spec.options.checkpoint.locality_aware_restore = true;
+  spec.options.checkpoint.live_handoff = true;
+  return spec;
+}
+
 ChaosReport RunChaosCampaign(const ChaosCampaignSpec& spec) {
   SimEngine engine;
   Cluster cluster(CommodityFabric());

@@ -135,6 +135,12 @@ ChaosCampaignSpec RandomChaosCampaign(uint64_t seed);
 // cadence — the regime where reactive recovery bleeds rollbacks and the
 // liveput policy (spec.options.morph_policy, default reactive) can pay off.
 ChaosCampaignSpec StormyChaosCampaign(uint64_t seed);
+// StormyChaosCampaign with the fast recovery path switched on: delta
+// checkpoint chains, locality-aware restore pricing and live handoff on
+// voluntary morphs. Same storms on the same seed, so before/after downtime
+// comparisons isolate the recovery path. A separate factory (rather than a
+// Stormy default) keeps the recorded stormy orderings and goldens valid.
+ChaosCampaignSpec FastRecoveryStormCampaign(uint64_t seed);
 
 struct ChaosReport {
   ElasticTrace trace;

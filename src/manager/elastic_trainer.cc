@@ -23,7 +23,7 @@ ElasticTrainer::ElasticTrainer(SimEngine* engine, Cluster* cluster, SpotMarket* 
       executor_(cluster, &rng_),
       graph_(BuildTransformerOpGraph(spec)),
       sections_(IdentifyCutPoints(graph_, spec.num_layers).value()),
-      checkpoints_(engine, options.checkpoint),
+      checkpoints_(engine, options.checkpoint, cluster),
       predictor_(options.predictor) {
   const TraceReport trace = TraceCrossPartitionState(graph_, sections_, TraceOptions());
   shared_sync_bytes_ = trace.TotalSyncBytes();
@@ -212,6 +212,11 @@ SearchConstraints ElasticTrainer::MakeConstraints(bool degraded) const {
     // bound pruning keeps only candidates that can win on *time*, which would
     // hide the slow-but-small configs the liveput argmax may prefer.
     constraints.predictor_fingerprint = predictor_.Fingerprint();
+    // The liveput rescoring consumes the recovery cost model; folding its
+    // structural fingerprint makes stale hits against an older restore
+    // pricing (new chain, premigrated records, changed survivors)
+    // structurally impossible, mirroring the predictor fold above.
+    constraints.recovery_fingerprint = checkpoints_.RestoreContextFingerprint();
     constraints.prune = false;
   }
   return constraints;
@@ -225,16 +230,106 @@ int ElasticTrainer::PlacementVmsUsed() const {
   return (config_->gpus_used + gpus_per_vm - 1) / gpus_per_vm;
 }
 
+double ElasticTrainer::EstimatedRestoreSeconds(int data_parallel) const {
+  // An involuntary hit restores onto roughly the current placement minus the
+  // dead VM: everyone else is warm and keeps their SSD shards.
+  const std::vector<VmId> vms = PlacementVms();
+  const int warm = std::max(0, static_cast<int>(vms.size()) - 1);
+  return checkpoints_.RestoreSeconds(checkpoints_.LatestUsable(), spec_.TotalParams(),
+                                     data_parallel, vms, warm);
+}
+
 double ElasticTrainer::RecoveryCostS() const {
   double cost = 0.0;
   if (config_.has_value()) {
-    cost += checkpoints_.RestoreDuration(spec_.TotalParams(), config_->data_parallel);
+    cost += EstimatedRestoreSeconds(config_->data_parallel);
   }
   if (cached_minibatch_s_ > 0.0) {
     cost += 0.5 * static_cast<double>(options_.checkpoint_every_minibatches) *
             cached_minibatch_s_;
   }
   return cost;
+}
+
+double ElasticTrainer::EstimatedHandoffSeconds(const JobConfig& config) const {
+  const CheckpointOptions& ckpt = options_.checkpoint;
+  const int gpus_per_vm = std::max(1, vm_type_.node.num_gpus);
+  const int needed = std::max(1, (config.gpus_used + gpus_per_vm - 1) / gpus_per_vm);
+  const int cold = std::max(0, needed - PlacementVmsUsed());
+  const double cold_fraction = static_cast<double>(cold) / static_cast<double>(needed);
+  const double setup =
+      ckpt.warm_restore_setup_s +
+      (ckpt.restore_setup_s - ckpt.warm_restore_setup_s) * cold_fraction;
+  if (cold == 0 || !placement_.has_value()) {
+    return setup;  // Pure repack: state reshuffles in place during rebuild.
+  }
+  // The cold VMs' share of the live state moves in `cold` parallel streams;
+  // price one representative cross-node flow (the real flows are priced in
+  // BeginLiveHandoff once PlaceJob names the incoming VMs).
+  const GpuId src = placement_->AllGpus().front();
+  GpuId dst = src;
+  for (const GpuId gpu : cluster_->ActiveGpus()) {
+    if (!cluster_->topology().SameNode(gpu, src)) {
+      dst = gpu;
+      break;
+    }
+  }
+  const double total_bytes =
+      kCheckpointBytesPerParam * spec_.TotalParams() * cold_fraction;
+  const double per_stream_bytes = total_bytes / static_cast<double>(cold);
+  const double transfer =
+      cluster_->network().MeanTransferTime(src, dst, per_stream_bytes, cold);
+  return std::max(setup, transfer);
+}
+
+double ElasticTrainer::BeginLiveHandoff(const std::vector<VmId>& outgoing,
+                                        const std::vector<VmId>& incoming) {
+  ++stats_.live_handoffs;
+  const CheckpointOptions& ckpt = options_.checkpoint;
+  std::vector<VmId> cold;
+  for (const VmId vm : incoming) {
+    if (!std::binary_search(outgoing.begin(), outgoing.end(), vm)) {
+      cold.push_back(vm);
+    }
+  }
+  const double incoming_count = static_cast<double>(std::max<size_t>(1, incoming.size()));
+  const double setup =
+      ckpt.warm_restore_setup_s +
+      (ckpt.restore_setup_s - ckpt.warm_restore_setup_s) *
+          static_cast<double>(cold.size()) / incoming_count;
+  if (cold.empty()) {
+    return setup;  // Same VM set, new shape: state reshuffles locally.
+  }
+  // The cold VMs' share of the state streams from the outgoing placement,
+  // one flow per cold VM, all concurrent, overlapped with the process-group
+  // rebuild of the warm survivors.
+  const double total_bytes = kCheckpointBytesPerParam * spec_.TotalParams() *
+                             static_cast<double>(cold.size()) / incoming_count;
+  const double per_stream_bytes = total_bytes / static_cast<double>(cold.size());
+  std::vector<std::pair<GpuId, GpuId>> flows;
+  flows.reserve(cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    const VmId src_vm = outgoing[i % outgoing.size()];
+    flows.emplace_back(
+        cluster_->topology().GpusOfNode(cluster_->Vm(src_vm).node).front(),
+        cluster_->topology().GpusOfNode(cluster_->Vm(cold[i]).node).front());
+  }
+  const double transfer =
+      cluster_->network().MeanParallelTransferTime(flows, per_stream_bytes);
+  // One completion event per stream: the bytes land when the transfer does;
+  // a morph that supersedes this one (epoch moved on) aborts the transfer
+  // and lands nothing.
+  const int concurrent = static_cast<int>(flows.size());
+  for (const auto& [src, dst] : flows) {
+    const double stream_s =
+        cluster_->network().MeanTransferTime(src, dst, per_stream_bytes, concurrent);
+    engine_->Schedule(stream_s, [this, epoch = epoch_, per_stream_bytes] {
+      if (epoch == epoch_) {
+        stats_.handoff_bytes += per_stream_bytes;
+      }
+    });
+  }
+  return std::max(setup, transfer);
 }
 
 Result<JobConfig> ElasticTrainer::ChooseConfig(int gpus, const SearchConstraints& constraints) {
@@ -289,9 +384,12 @@ bool ElasticTrainer::EvaluateProactiveMorph(int available_gpus) {
     return false;
   }
   // Cost model: the examples the liveput gain buys over the horizon must pay
-  // for the examples forgone during the pre-migration restore stall.
-  const double restore_s =
-      checkpoints_.RestoreDuration(spec_.TotalParams(), best->data_parallel);
+  // for the examples forgone during the morph stall — the live handoff when
+  // enabled (a voluntary morph moves state peer-to-peer), the record-aware
+  // checkpoint restore otherwise.
+  const double restore_s = options_.checkpoint.live_handoff
+                               ? EstimatedHandoffSeconds(*best)
+                               : EstimatedRestoreSeconds(best->data_parallel);
   if ((best_score - current_score) * options_.liveput_horizon_s <=
       current_rate * restore_s) {
     return false;
@@ -322,6 +420,9 @@ void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state)
   }
   const int gpus = AvailableGpus();
   const bool was_degraded = degraded_;
+  // Outgoing placement, captured before a successful attempt() overwrites it:
+  // the live-handoff path sources state from these VMs.
+  const std::vector<VmId> outgoing_vms = PlacementVms();
 
   const auto attempt = [&](bool degraded) {
     const Result<JobConfig> best = ChooseConfig(gpus, MakeConstraints(degraded));
@@ -368,9 +469,39 @@ void ElasticTrainer::Reconfigure(const std::string& event_kind, bool lost_state)
 
   double restore_delay = 0.0;
   if (lost_state || stats_.minibatches_done > 0) {
-    // Planned morphs checkpoint first, then every morph restores state.
-    restore_delay =
-        checkpoints_.RestoreDuration(spec_.TotalParams(), config_->data_parallel);
+    const std::vector<VmId> incoming_vms = PlacementVms();
+    const bool outgoing_intact =
+        !outgoing_vms.empty() &&
+        std::all_of(outgoing_vms.begin(), outgoing_vms.end(),
+                    [this](VmId vm) { return cluster_->IsActive(vm); });
+    if (!lost_state && options_.checkpoint.live_handoff &&
+        stats_.minibatches_done > 0 && outgoing_intact) {
+      // Voluntary morph with the outgoing placement still alive: hand the
+      // live state over peer-to-peer instead of a checkpoint round trip.
+      restore_delay = BeginLiveHandoff(outgoing_vms, incoming_vms);
+    } else {
+      // Involuntary (or handoff-ineligible) morph restores from the newest
+      // usable checkpoint chain; VMs carried across the morph count as warm.
+      int warm_vms = 0;
+      for (const VmId vm : incoming_vms) {
+        if (std::binary_search(outgoing_vms.begin(), outgoing_vms.end(), vm)) {
+          ++warm_vms;
+        }
+      }
+      RestoreBreakdown breakdown;
+      restore_delay = checkpoints_.RestoreSeconds(
+          checkpoints_.LatestUsable(), spec_.TotalParams(), config_->data_parallel,
+          incoming_vms, warm_vms, &breakdown);
+      stats_.restore_chain_records += breakdown.chain_records;
+      stats_.restore_setup_s += breakdown.setup_s;
+      stats_.restore_ssd_s += breakdown.ssd_s;
+      stats_.restore_peer_s += breakdown.peer_s;
+      stats_.restore_cloud_s += breakdown.cloud_s;
+      stats_.restore_shards_ssd += breakdown.shards_ssd;
+      stats_.restore_shards_peer += breakdown.shards_peer;
+      stats_.restore_shards_cloud += breakdown.shards_cloud;
+      stats_.restore_shards_premigrated += breakdown.shards_premigrated;
+    }
   }
   if (stall_started_ >= 0.0) {
     stats_.stalled_s += engine_->now() - stall_started_;
@@ -506,13 +637,17 @@ void ElasticTrainer::ScheduleNextMinibatch(double extra_delay) {
       shard_owners.push_back(cluster_->VmOfGpu(placement_->At(replica, 0)));
     }
     duration += checkpoints_.BeginCheckpoint(stats_.minibatches_done, spec_.TotalParams(),
-                                             config_->data_parallel, shard_owners);
+                                             config_->data_parallel, shard_owners,
+                                             premigration);
     last_checkpointed_minibatch_ = stats_.minibatches_done;
     ++stats_.checkpoints;
+    stats_.delta_checkpoints = checkpoints_.delta_checkpoints_written();
+    stats_.checkpoint_records_pruned = checkpoints_.records_pruned();
     checkpointing = true;
     if (premigration) {
       stats_.premigrated_shards += config_->data_parallel;
-      stats_.premigrated_bytes += kCheckpointBytesPerParam * spec_.TotalParams();
+      // A premigrated delta record moves only the changed fraction.
+      stats_.premigrated_bytes += checkpoints_.last_checkpoint_bytes();
     }
   }
   minibatch_in_flight_ = true;

@@ -216,6 +216,33 @@ struct SessionStats {
   // throughput argmax. Advisory — horizon/threshold tuning may change it
   // without invalidating recorded traces.
   int64_t liveput_wins = 0;
+  // --- Fast recovery path (delta checkpoints / locality / live handoff). ---
+  // fingerprint: voluntary morphs whose state moved peer-to-peer between the
+  // outgoing and incoming placements instead of a checkpoint-restore round
+  // trip — part of the replayed decision sequence.
+  int live_handoffs = 0;
+  // observability: bytes landed by completed handoff transfer events —
+  // derivable from the fingerprinted morph timeline and the model size.
+  double handoff_bytes = 0.0;
+  // observability: delta checkpoint records written (mirror of the store
+  // counter; derivable from the fingerprinted checkpoint sequence).
+  int64_t delta_checkpoints = 0;
+  // observability: superseded/inert records garbage-collected by the store.
+  int64_t checkpoint_records_pruned = 0;
+  // observability: chain records resolved across all priced restores (one
+  // full base + trailing deltas each) — the delta-chain-length telemetry.
+  int64_t restore_chain_records = 0;
+  // observability: restore seconds by source, summed over restores —
+  // derivable from the fingerprinted event timeline and cluster state.
+  double restore_setup_s = 0.0;
+  double restore_ssd_s = 0.0;    // observability: surviving-owner SSD reads.
+  double restore_peer_s = 0.0;   // observability: peer transfers over the fabric.
+  double restore_cloud_s = 0.0;  // observability: cloud object reads.
+  // observability: shards priced per source tier across all restores.
+  int64_t restore_shards_ssd = 0;
+  int64_t restore_shards_peer = 0;      // observability
+  int64_t restore_shards_cloud = 0;     // observability
+  int64_t restore_shards_premigrated = 0;  // observability: restored free.
   std::vector<TimelineEvent> events;      // fingerprint: the event timeline.
   std::vector<TimelineSample> samples;    // fingerprint: throughput samples.
 };
@@ -311,6 +338,20 @@ class ElasticTrainer {
   // the checkpoint cadence at the measured rate) plus the restore stall. The
   // liveput objective amortizes survival risk by this, not the whole horizon.
   double RecoveryCostS() const;
+  // Record-aware restore estimate for an involuntary hit on the current
+  // placement (one VM presumed lost, the rest warm). Bit-identical to the
+  // legacy RestoreDuration while the fast-recovery options are disabled.
+  double EstimatedRestoreSeconds(int data_parallel) const;
+  // Decision-time estimate of a voluntary morph's live-handoff delay onto
+  // `config` (the real placement is unknown until PlaceJob): warm-blended
+  // setup plus the cold VMs' state over a representative cross-node flow.
+  double EstimatedHandoffSeconds(const JobConfig& config) const;
+  // Commits a live handoff from the outgoing onto the incoming placement:
+  // schedules the peer-to-peer transfer completion events (aborted transfers
+  // — epoch moved on — land nothing) and returns the morph delay, the
+  // transfer overlapped with the warm process-group rebuild.
+  double BeginLiveHandoff(const std::vector<VmId>& outgoing,
+                          const std::vector<VmId>& incoming);
   // Offload applies when the user asked for it or degraded mode forces it.
   bool OffloadActive() const { return options_.cpu_offload_optimizer || degraded_; }
 

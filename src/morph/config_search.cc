@@ -213,6 +213,7 @@ uint64_t ConfigSearch::ContextFingerprint(const SearchConstraints& constraints) 
   mix_double(constraints.microbatch_tolerance);
   mix(static_cast<uint64_t>(constraints.microbatch_candidates));
   mix(constraints.predictor_fingerprint);
+  mix(constraints.recovery_fingerprint);
   // constraints.prune is deliberately excluded: pruning changes which
   // candidates get simulated, never what a simulation returns, so memoized
   // results stay exact across prune-mode flips.
@@ -232,7 +233,8 @@ ConfigSearch::SweepKey ConfigSearch::MakeSweepKey(int gpus,
                   constraints.microbatch_tolerance,
                   constraints.microbatch_candidates,
                   constraints.prune,
-                  constraints.predictor_fingerprint};
+                  constraints.predictor_fingerprint,
+                  constraints.recovery_fingerprint};
 }
 
 Result<std::vector<JobConfig>> ConfigSearch::Sweep(int gpus,

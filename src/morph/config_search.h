@@ -99,6 +99,12 @@ struct SearchConstraints {
   // predictor state (conservative, like the budget field — simulated times do
   // not depend on it, but stale-hit bugs stay structurally impossible).
   uint64_t predictor_fingerprint = 0;
+  // CheckpointStore::RestoreContextFingerprint(), folded in by the liveput
+  // policy alongside the predictor fold; 0 when reactive or cold. The
+  // liveput rescoring amortizes survival risk by the recovery cost, so any
+  // restore-pricing change (chain frontier moved, records premigrated,
+  // survivors changed) rotates the memo context the same conservative way.
+  uint64_t recovery_fingerprint = 0;
 };
 
 // Cumulative cache/workload counters (monotone; snapshot and subtract to
@@ -216,7 +222,7 @@ class ConfigSearch {
   // (G, calibration fingerprint, every constraint field): the complete input
   // of Sweep. An empty cached vector records an infeasible sweep.
   using SweepKey = std::tuple<int, uint64_t, double, double, double, int, double, bool,
-                              double, int, bool, uint64_t>;
+                              double, int, bool, uint64_t, uint64_t>;
   SweepKey MakeSweepKey(int gpus, const SearchConstraints& constraints) const;
 
   const TransformerSpec* spec_;

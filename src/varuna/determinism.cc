@@ -78,6 +78,7 @@ uint64_t ElasticTrace::Fingerprint() const {
   fnv.U64(static_cast<uint64_t>(last_restore_step));
   fnv.U64(static_cast<uint64_t>(proactive_morphs));
   fnv.U64(static_cast<uint64_t>(premigrated_shards));
+  fnv.U64(static_cast<uint64_t>(live_handoffs));
   fnv.U64(event_times_s.size());
   for (const double t : event_times_s) {
     fnv.F64(t);
@@ -117,6 +118,7 @@ ElasticTrace CaptureElasticTrace(const SimEngine& engine, const ElasticTrainer& 
   trace.last_restore_step = stats.last_restore_step;
   trace.proactive_morphs = stats.proactive_morphs;
   trace.premigrated_shards = stats.premigrated_shards;
+  trace.live_handoffs = stats.live_handoffs;
   for (const TimelineEvent& event : stats.events) {
     trace.event_times_s.push_back(event.time_s);
     trace.event_kinds.push_back(event.kind);

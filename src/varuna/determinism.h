@@ -64,6 +64,9 @@ struct ElasticTrace {
   // zero, proactive runs replay them bit-identically like everything else.
   int proactive_morphs = 0;
   int64_t premigrated_shards = 0;
+  // Fast-recovery decisions: voluntary morphs that moved live state
+  // peer-to-peer instead of a checkpoint-restore round trip.
+  int live_handoffs = 0;
   // (time_s, kind) for every manager timeline event, in order.
   std::vector<double> event_times_s;
   std::vector<std::string> event_kinds;

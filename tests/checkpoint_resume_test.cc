@@ -10,6 +10,8 @@
 #include <map>
 #include <vector>
 
+#include "src/cluster/cluster.h"
+#include "src/cluster/vm.h"
 #include "src/common/rng.h"
 #include "src/manager/checkpoint.h"
 #include "src/nn/optimizer.h"
@@ -194,6 +196,176 @@ TEST(CheckpointResumeTest, AllCheckpointsDestroyedMeansRestartFromScratch) {
   for (int t = 0; t < kTotalSteps; ++t) {
     EXPECT_EQ(restarted.Step(t), clean_losses[static_cast<size_t>(t)]) << "step " << t;
   }
+}
+
+// --- Fast recovery path: delta chains, locality tiers, live handoff. ---
+
+CheckpointOptions FastRecoveryOptions(int full_every) {
+  CheckpointOptions opts;
+  opts.full_checkpoint_every = full_every;
+  opts.delta_fraction = 0.25;
+  opts.locality_aware_restore = true;
+  return opts;
+}
+
+TEST(CheckpointResumeTest, DeltaChainCorruptionFallsBackBitIdentical) {
+  const std::vector<double> clean_losses = RunClean();
+  Session clean;
+  for (int t = 0; t < kTotalSteps; ++t) {
+    clean.Step(t);
+  }
+
+  SimEngine engine;
+  CheckpointStore store(&engine, FastRecoveryOptions(/*full_every=*/2));
+  std::map<int64_t, ParameterCheckpoint> payloads;
+  Session victim;
+  for (int t = 0; t < 18; ++t) {
+    if (t > 0 && t % 5 == 0) {
+      store.BeginCheckpoint(t, kParams, /*data_parallel=*/2, {2 * (t / 5), 2 * (t / 5) + 1});
+      payloads[t] = SnapshotParameters(victim.trainer.Parameters(), victim.opt);
+      engine.RunUntil(engine.now() + 3600.0);  // Cloud flush completes.
+    }
+    victim.Step(t);
+  }
+  // K=2 alternates: full at 5, delta chained on it at 10, full again at 15.
+  ASSERT_NE(store.Record(10), nullptr);
+  EXPECT_TRUE(store.Record(10)->is_delta);
+  EXPECT_EQ(store.Record(10)->base_minibatch_id, 5);
+  ASSERT_NE(store.Record(15), nullptr);
+  EXPECT_FALSE(store.Record(15)->is_delta);
+  ASSERT_EQ(store.LatestUsable(), 15);
+
+  // Newest full corrupted: the delta chain ending at 10 is next, and resume
+  // from it must retrace the clean run exactly.
+  EXPECT_TRUE(store.CorruptShard(15, 0));
+  EXPECT_EQ(store.LatestUsable(), 10);
+  store.CheckInvariants();
+  {
+    Session resumed;
+    RestoreParameters(payloads.at(10), resumed.trainer.Parameters(), &resumed.opt);
+    ExpectBitIdenticalTail(&clean, &resumed, clean_losses, 10);
+  }
+
+  // Losing the BASE invalidates the whole chain: record 10 has no damaged
+  // shard of its own but is unusable through its base, so nothing restorable
+  // remains.
+  EXPECT_TRUE(store.CorruptShard(5, 1));
+  EXPECT_EQ(store.LatestUsable(), -1);
+  store.CheckInvariants();
+}
+
+TEST(CheckpointResumeTest, LocalityAwareRestorePricesCheapestLiveSource) {
+  SimEngine engine;
+  Cluster cluster(CommodityFabric());
+  cluster.AddVms(Nc6V3(), 8);
+  const CheckpointOptions opts = FastRecoveryOptions(/*full_every=*/1);
+  CheckpointStore store(&engine, opts, &cluster);
+  store.BeginCheckpoint(10, kParams, /*data_parallel=*/2, {0, 1});
+  engine.RunUntil(engine.now() + 3600.0);  // Flush to cloud.
+
+  const std::vector<VmId> owners = {0, 1};
+  const std::vector<VmId> peers = {2, 3};
+
+  // Owners inside the new placement: both shards read from local SSD, and a
+  // fully-warm placement pays only the process-group rebuild.
+  RestoreBreakdown ssd;
+  const double ssd_total =
+      store.RestoreSeconds(10, kParams, 2, owners, /*warm_vms=*/2, &ssd);
+  EXPECT_EQ(ssd.shards_ssd, 2);
+  EXPECT_EQ(ssd.shards_peer, 0);
+  EXPECT_EQ(ssd.shards_cloud, 0);
+  EXPECT_EQ(ssd.setup_s, opts.warm_restore_setup_s);
+  EXPECT_GT(ssd.ssd_s, 0.0);
+  EXPECT_EQ(ssd_total, ssd.Total());
+
+  // Owners alive but outside the placement: peer pulls over the fabric, and
+  // an all-cold placement pays the full setup.
+  RestoreBreakdown peer;
+  store.RestoreSeconds(10, kParams, 2, peers, /*warm_vms=*/0, &peer);
+  EXPECT_EQ(peer.shards_peer, 2);
+  EXPECT_EQ(peer.shards_ssd, 0);
+  EXPECT_EQ(peer.setup_s, opts.restore_setup_s);
+
+  // Owners dead (shards already safe in cloud): cloud reads, the slowest
+  // tier; the record-aware price never exceeds the legacy flat price.
+  cluster.Preempt(0);
+  cluster.Preempt(1);
+  RestoreBreakdown cloud;
+  const double cloud_total = store.RestoreSeconds(10, kParams, 2, peers, 0, &cloud);
+  EXPECT_EQ(cloud.shards_cloud, 2);
+  EXPECT_GT(cloud.cloud_s, peer.peer_s);
+  EXPECT_GT(cloud_total, ssd_total);
+  EXPECT_LE(cloud_total, store.RestoreDuration(kParams, 2) + 1e-9);
+
+  // A premigrated record restores free of data movement: the bytes already
+  // travelled with the premigration trigger.
+  store.BeginCheckpoint(20, kParams, 2, {2, 3}, /*premigrated=*/true);
+  RestoreBreakdown premig;
+  store.RestoreSeconds(20, kParams, 2, peers, /*warm_vms=*/2, &premig);
+  EXPECT_EQ(premig.shards_premigrated, 2);
+  EXPECT_EQ(premig.ssd_s + premig.peer_s + premig.cloud_s, 0.0);
+  store.CheckInvariants();
+}
+
+TEST(CheckpointResumeTest, StallEstimateMatchesChargedStallForFullAndDelta) {
+  SimEngine engine;
+  CheckpointStore store(&engine, FastRecoveryOptions(/*full_every=*/4));
+  // The estimate and the charged stall share one formula: bit-identical for
+  // the full snapshot...
+  const double full_estimate = store.CheckpointStallEstimate(kParams, 2);
+  const double full_stall = store.BeginCheckpoint(5, kParams, 2, {0, 1});
+  EXPECT_EQ(full_estimate, full_stall);
+  engine.RunUntil(engine.now() + 3600.0);
+
+  // ...and for the delta that follows it, which writes delta_fraction of the
+  // bytes and therefore stalls for less.
+  const double delta_estimate = store.CheckpointStallEstimate(kParams, 2);
+  const double delta_stall = store.BeginCheckpoint(10, kParams, 2, {0, 1});
+  EXPECT_EQ(delta_estimate, delta_stall);
+  EXPECT_LT(delta_stall, full_stall);
+  EXPECT_EQ(store.delta_checkpoints_written(), 1);
+  store.CheckInvariants();
+}
+
+TEST(CheckpointResumeTest, GarbageCollectionPrunesFlushedOlderChains) {
+  SimEngine engine;
+  CheckpointStore store(&engine, CheckpointOptions());  // Legacy: all full.
+  for (int i = 1; i <= 6; ++i) {
+    store.BeginCheckpoint(5 * i, kParams, 2, {0, 1});
+    engine.RunUntil(engine.now() + 3600.0);
+  }
+  // Fully-flushed records older than the fallback floor (the second-newest
+  // complete full) are bookkeeping-inert and pruned; the floor itself and
+  // everything newer survive, so one corruption-fallback level always
+  // remains.
+  EXPECT_EQ(store.LatestUsable(), 30);
+  EXPECT_EQ(store.records_pruned(), 3);
+  EXPECT_EQ(store.live_records(), 3);
+  EXPECT_NE(store.Record(30), nullptr);
+  EXPECT_NE(store.Record(20), nullptr);
+  EXPECT_EQ(store.Record(5), nullptr);
+  store.CheckInvariants();
+}
+
+TEST(CheckpointResumeTest, LiveHandoffResumesFromCurrentStateWithoutRollback) {
+  const std::vector<double> clean_losses = RunClean();
+  Session clean;
+  for (int t = 0; t < kTotalSteps; ++t) {
+    clean.Step(t);
+  }
+
+  // Voluntary morph at step 13: the outgoing placement streams its CURRENT
+  // state to the incoming one. No rollback to the step-10 checkpoint — the
+  // trajectory continues exactly where the outgoing placement stopped.
+  Session victim;
+  for (int t = 0; t < 13; ++t) {
+    victim.Step(t);
+  }
+  const ParameterCheckpoint live =
+      SnapshotParameters(victim.trainer.Parameters(), victim.opt);
+  Session incoming;
+  RestoreParameters(live, incoming.trainer.Parameters(), &incoming.opt);
+  ExpectBitIdenticalTail(&clean, &incoming, clean_losses, 13);
 }
 
 }  // namespace

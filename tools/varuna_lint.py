@@ -141,12 +141,17 @@ HOT_PATH_PATTERNS = [
 # the morph-decision sweep (src/morph/ and the schedule cache it leans on) —
 # the config search runs at every preemption/arrival event and its memo
 # tables must stay flat (sorted vectors / open addressing, no node chasing).
+# The checkpoint store joined the list when its record table went flat: its
+# per-shard flush events and the latest-usable chain scans fire on the DES
+# hot path during every storm.
 HOT_PATH_PREFIXES = ("src/sim/", "src/morph/")
 HOT_PATH_FILES = (
     "src/pipeline/executor.h",
     "src/pipeline/executor.cc",
     "src/pipeline/schedule_cache.h",
     "src/pipeline/schedule_cache.cc",
+    "src/manager/checkpoint.h",
+    "src/manager/checkpoint.cc",
 )
 # Explicit, reviewed exceptions. Calibration is the one-time profiling step
 # (§4.3): its std::map of profiled (m -> seconds) points is built once at job
